@@ -1,0 +1,103 @@
+// Command experiments regenerates the paper's evaluation: every row of
+// Table 1 of Izumi & Le Gall (PODC'17) plus the lower-bound measurements
+// and the design ablations, as scaling tables with fitted exponents.
+//
+// Examples:
+//
+//	experiments                 # run everything at default sizes
+//	experiments -quick          # small smoke sizes
+//	experiments -exp e5         # only the Theorem-2 lister row
+//	experiments -sizes 32,64,128 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "", "comma-separated experiment ids (empty = all); see -list")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		sizes    = fs.String("sizes", "", "comma-separated network sizes (empty = defaults)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		b        = fs.Int("b", 2, "bandwidth in words per edge per round")
+		quick    = fs.Bool("quick", false, "smoke sizes")
+		parallel = fs.Bool("parallel", false, "run node state machines on all CPUs")
+		csvDir   = fs.String("csv", "", "also write one CSV per experiment into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range expt.Registry() {
+			fmt.Printf("%-8s %s [%s]\n", e.ID, e.Title, e.PaperBound)
+		}
+		return nil
+	}
+	cfg := expt.Config{Seed: *seed, Bandwidth: *b, Quick: *quick, Parallel: *parallel}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("bad size %q: %w", s, err)
+			}
+			cfg.Sizes = append(cfg.Sizes, v)
+		}
+	}
+	var selected []expt.Experiment
+	if *exp == "" {
+		selected = expt.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := expt.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range selected {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			werr := tbl.WriteCSV(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "e1,e9", "-sizes", "16,24", "-csv", dir, "-seed", "3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"e1", "e9"} {
+		data, err := os.ReadFile(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			t.Fatalf("csv for %s: %v", id, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("empty csv for %s", id)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-sizes", "x,y"}); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+}

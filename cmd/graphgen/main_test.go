@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateWriteReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := run([]string{"-gen", "gnp", "-n", "24", "-p", "0.4", "-o", path}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", path, "-eps", "0.3"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAllFamiliesStats(t *testing.T) {
+	for _, g := range []string{"gnp", "complete", "bipartite", "ba", "planted", "heavy", "regular", "ring", "chords", "empty"} {
+		if err := run([]string{"-gen", g, "-n", "20", "-k", "3"}, os.Stdout); err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-gen", "nope"}, os.Stdout); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if err := run([]string{"-load", "/missing/file"}, os.Stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

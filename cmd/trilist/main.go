@@ -1,0 +1,213 @@
+// Command trilist runs a distributed triangle algorithm on a generated or
+// loaded graph and reports the triangles found together with the CONGEST
+// round/communication metrics.
+//
+// Examples:
+//
+//	trilist -gen gnp -n 64 -p 0.5 -algo list
+//	trilist -gen planted -n 90 -k 6 -algo find
+//	trilist -gen gnp -n 48 -p 0.5 -algo dolev
+//	trilist -load graph.txt -algo twohop -show 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/agg"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trilist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trilist", flag.ContinueOnError)
+	var (
+		gen      = fs.String("gen", "gnp", "generator: gnp|complete|empty|bipartite|ring|chords|ba|planted|heavy|regular")
+		load     = fs.String("load", "", "load an edge-list file instead of generating")
+		n        = fs.Int("n", 64, "number of vertices")
+		p        = fs.Float64("p", 0.5, "edge probability (generator dependent)")
+		k        = fs.Int("k", 4, "generator integer parameter (chords/ba/planted/heavy/regular)")
+		algo     = fs.String("algo", "list", "algorithm: list|find|a1|a2|a3|twohop|local|dolev|dolev-deg|dolev-relay|count|tester|bcast-twohop")
+		seed     = fs.Int64("seed", 1, "random seed")
+		b        = fs.Int("b", 2, "bandwidth in words per edge per round")
+		eps      = fs.Float64("eps", 0, "heaviness exponent override (0 = algorithm default)")
+		show     = fs.Int("show", 5, "triangles to print (0 = none)")
+		parallel = fs.Bool("parallel", false, "run node state machines on all CPUs")
+		verify   = fs.Bool("verify", true, "verify output against the centralized oracle")
+		explain  = fs.Bool("explain", false, "print the per-segment round budget (list/find only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var g *graph.Graph
+	var err error
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f)
+	} else {
+		g, err = graph.GeneratorByName(*gen, *n, *p, *k, rng)
+	}
+	if err != nil {
+		return err
+	}
+	st := graph.Degrees(g)
+	fmt.Printf("graph: n=%d m=%d dmax=%d dmean=%.1f triangles=%d\n",
+		g.N(), g.M(), st.Max, st.Mean, graph.CountTriangles(g))
+
+	mode := sim.ModeCONGEST
+	var res core.Result
+	epsOr := func(def float64) float64 {
+		if *eps > 0 {
+			return *eps
+		}
+		return def
+	}
+	cfg := func(m sim.Mode) sim.Config {
+		return sim.Config{Mode: m, BandwidthWords: *b, Seed: *seed, Parallel: *parallel}
+	}
+	params := func(def float64) core.Params {
+		return core.Params{N: g.N(), Eps: epsOr(def), B: *b}
+	}
+	printPlan := func(segs []core.Segment) {
+		if !*explain {
+			return
+		}
+		total := 0
+		for _, sp := range core.Plan(segs) {
+			fmt.Printf("plan:  %-8s %6d rounds\n", sp.Name, sp.Rounds)
+			total += sp.Rounds
+		}
+		fmt.Printf("plan:  total    %6d rounds\n", total)
+	}
+	switch *algo {
+	case "list":
+		var segs []core.Segment
+		segs, err = core.NewLister(g.N(), *b, core.ListerOptions{Eps: *eps})
+		if err != nil {
+			return err
+		}
+		printPlan(segs)
+		res, err = core.RunSequence(g, segs, cfg(mode))
+	case "find":
+		var segs []core.Segment
+		segs, err = core.NewFinder(g.N(), *b, core.FinderOptions{Eps: *eps})
+		if err != nil {
+			return err
+		}
+		printPlan(segs)
+		res, err = core.RunSequence(g, segs, cfg(mode))
+	case "a1":
+		sched, mk := core.NewA1(params(core.EpsFindingPure))
+		res, err = core.RunSingle(g, sched, mk, cfg(mode))
+	case "a2":
+		var sched *sim.Schedule
+		var mk func(int) sim.Node
+		sched, mk, err = core.NewA2(params(core.EpsListingPure))
+		if err == nil {
+			res, err = core.RunSingle(g, sched, mk, cfg(mode))
+		}
+	case "a3":
+		sched, mk := core.NewA3(params(core.EpsListingPure))
+		res, err = core.RunSingle(g, sched, mk, cfg(mode))
+	case "twohop":
+		sched, mk := baseline.NewTwoHop(g.N(), *b, g.MaxDegree(), baseline.TwoHopGlobal)
+		res, err = core.RunSingle(g, sched, mk, cfg(mode))
+	case "local":
+		sched, mk := baseline.NewTwoHop(g.N(), *b, g.MaxDegree(), baseline.TwoHopLocal)
+		res, err = core.RunSingle(g, sched, mk, cfg(mode))
+	case "dolev", "dolev-deg", "dolev-relay":
+		variant := baseline.DolevCubeRoot
+		if *algo == "dolev-deg" {
+			variant = baseline.DolevDegreeAware
+		}
+		routing := baseline.DirectRouting
+		if *algo == "dolev-relay" {
+			routing = baseline.RelayRouting
+		}
+		var sched *sim.Schedule
+		var mk func(int) sim.Node
+		sched, mk, err = baseline.NewDolevRouted(g, *b, variant, routing)
+		if err == nil {
+			mode = sim.ModeClique
+			res, err = core.RunSingle(g, sched, mk, cfg(mode))
+		}
+	case "bcast-twohop":
+		sched, mk := baseline.NewTwoHop(g.N(), *b, g.MaxDegree(), baseline.TwoHopGlobal)
+		mode = sim.ModeBroadcast
+		res, err = core.RunSingle(g, sched, mk, cfg(mode))
+	case "tester":
+		_, res, err = core.TestTriangleFreeness(g, *k*4, cfg(mode))
+	case "count":
+		var cres agg.CountResult
+		cres, err = agg.CountTriangles(g, 0, cfg(mode))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run:   rounds=%d words=%d bits=%d\n",
+			cres.Rounds, cres.Metrics.WordsDelivered, cres.Metrics.TotalBits())
+		fmt.Printf("out:   exact triangle count at root 0 = %d (oracle %d)\n",
+			cres.Count, graph.CountTriangles(g))
+		if int(cres.Count) != graph.CountTriangles(g) {
+			return fmt.Errorf("count mismatch")
+		}
+		fmt.Println("check: count exact")
+		return nil
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	_, maxRecv := res.Metrics.MaxBitsReceived()
+	fmt.Printf("run:   rounds=%d activeRounds=%d words=%d bits=%d maxNodeRecvBits=%d\n",
+		res.ScheduledRounds, res.Metrics.ActiveRounds,
+		res.Metrics.WordsDelivered, res.Metrics.TotalBits(), maxRecv)
+	fmt.Printf("out:   distinct triangles=%d\n", len(res.Union))
+	if *show > 0 {
+		for i, t := range res.Union.Slice() {
+			if i >= *show {
+				fmt.Printf("       ... (%d more)\n", len(res.Union)-*show)
+				break
+			}
+			fmt.Printf("       %v\n", t)
+		}
+	}
+	if *verify {
+		if err := core.VerifyOneSided(g, res); err != nil {
+			return fmt.Errorf("one-sided check FAILED: %w", err)
+		}
+		fmt.Println("check: one-sided OK (every output is a real triangle)")
+		switch *algo {
+		case "list", "twohop", "local", "dolev", "dolev-deg":
+			if err := core.VerifyListing(g, res); err != nil {
+				fmt.Printf("check: listing INCOMPLETE (probabilistic): %v\n", err)
+			} else {
+				fmt.Println("check: listing complete")
+			}
+		case "find":
+			if err := core.VerifyFinding(g, res); err != nil {
+				fmt.Printf("check: finding MISSED (probabilistic): %v\n", err)
+			} else {
+				fmt.Println("check: finding OK")
+			}
+		}
+	}
+	return nil
+}

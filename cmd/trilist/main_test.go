@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunAlgorithms(t *testing.T) {
+	cases := [][]string{
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "list", "-show", "2"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "find"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "a1"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "a2"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "a3"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "twohop"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "local"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "dolev"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "dolev-deg"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "dolev-relay"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "count"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "tester"},
+		{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "bcast-twohop"},
+		{"-gen", "ba", "-n", "24", "-k", "3", "-algo", "list", "-parallel"},
+		{"-gen", "planted", "-n", "30", "-k", "4", "-algo", "find", "-eps", "0.4"},
+		{"-gen", "bipartite", "-n", "20", "-p", "0.5", "-algo", "find"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args); err != nil {
+				t.Fatalf("run(%v): %v", args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-algo", "nope", "-n", "10"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run([]string{"-gen", "nope", "-n", "10"}); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if err := run([]string{"-load", "/definitely/missing/file"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunLoadsEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Complete(8)
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", path, "-algo", "twohop", "-show", "0"}); err != nil {
+		t.Fatalf("run with -load: %v", err)
+	}
+}

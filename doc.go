@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Triangle Finding and
+// Listing in CONGEST Networks" (Taisuke Izumi & Francois Le Gall,
+// PODC 2017; arXiv:1705.09061).
+//
+// The repository contains:
+//
+//   - internal/sim: a round-synchronous CONGEST / CONGEST-clique network
+//     simulator with per-edge O(log n)-bit bandwidth accounting;
+//   - internal/core: the paper's algorithms — A1 (Proposition 1), A2
+//     (Proposition 2 / Figure 1), A(X,r) (Figure 2 / Proposition 4), A3
+//     (Proposition 3), the Theorem-1 O(n^{2/3} (log n)^{2/3})-round finder
+//     and the Theorem-2 O(n^{3/4} log n)-round lister;
+//   - internal/baseline: the Table-1 comparison algorithms (trivial
+//     two-hop, local listing, Dolev-Lenzen-Peled clique listing);
+//   - internal/lower: the measurable side of the Theorem-3 and
+//     Proposition-5 information-theoretic lower bounds;
+//   - internal/graph, internal/hashing: the graph and 3-wise-independent
+//     hashing substrates;
+//   - internal/expt: the experiment harness regenerating every Table-1 row;
+//   - cmd/trilist, cmd/experiments: command-line front ends;
+//   - examples/: runnable scenarios (quickstart, social-network motif
+//     counting, triangle-freeness certification, lower-bound measurement).
+//
+// The top-level bench_test.go exposes one testing.B benchmark per
+// experiment row. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

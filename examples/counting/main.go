@@ -1,0 +1,55 @@
+// Counting: the finding / counting / listing hierarchy, measured.
+//
+// The paper proves (Theorem 3) that triangle LISTING needs Omega(n^{1/3}/
+// log n) rounds even in the CONGEST clique, while COUNTING there is
+// O(n^{0.1572}) (Censor-Hillel et al.) — so listing is strictly harder
+// than counting. This example shows the same separation in the standard
+// CONGEST model with our exact counter: a BFS convergecast over two-hop
+// knowledge counts all triangles in Theta(d_max + D) rounds, orders of
+// magnitude below the Theorem-2 lister, because a count is a single number
+// and the information-theoretic argument of Theorem 3 has nothing to grip.
+//
+// Run with: go run ./examples/counting
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/agg"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Printf("%6s %12s %14s %14s %10s\n", "n", "triangles", "countRounds", "listRounds", "ratio")
+	for i, n := range []int{32, 48, 64} {
+		rng := rand.New(rand.NewSource(int64(10 + i)))
+		g := graph.Gnp(n, 0.5, rng)
+
+		cres, err := agg.CountTriangles(g, 0, sim.Config{Seed: int64(i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if int(cres.Count) != graph.CountTriangles(g) {
+			log.Fatalf("count %d disagrees with oracle %d", cres.Count, graph.CountTriangles(g))
+		}
+
+		lres, err := core.ListAllTriangles(g, core.ListerOptions{}, sim.Config{Seed: int64(i + 50)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.VerifyListing(g, lres); err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%6d %12d %14d %14d %9.0fx\n",
+			n, cres.Count, cres.Rounds, lres.ScheduledRounds,
+			float64(lres.ScheduledRounds)/float64(cres.Rounds))
+	}
+	fmt.Println("\nthe count is exact at every size, yet costs a vanishing fraction of")
+	fmt.Println("listing: Theorem 3's information bound applies only when triangle")
+	fmt.Println("IDENTITIES must leave the nodes, not to a single aggregate number.")
+}

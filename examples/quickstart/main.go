@@ -1,0 +1,53 @@
+// Quickstart: build a small random network, run the paper's Theorem-2
+// triangle lister in the simulated CONGEST model, and print what each part
+// of the system reports.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func main() {
+	// 1. An input network: G(n, 1/2), the dense random graphs the paper's
+	//    lower bounds are proved on.
+	rng := rand.New(rand.NewSource(2017))
+	g := graph.Gnp(64, 0.5, rng)
+	fmt.Printf("network: n=%d m=%d d_max=%d\n", g.N(), g.M(), g.MaxDegree())
+
+	// 2. Ground truth from the centralized oracle (O(m^{3/2}) forward
+	//    algorithm) — the distributed run is verified against it.
+	truth := graph.ListTriangles(g)
+	fmt.Printf("oracle:  %d triangles in T(G)\n", len(truth))
+
+	// 3. The distributed lister: ceil(c log n) repetitions of
+	//    (Algorithm A2; Algorithm A3) per Theorem 2.
+	res, err := core.ListAllTriangles(g, core.ListerOptions{}, sim.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CONGEST: %d rounds, %d bits moved, %d distinct triangles listed\n",
+		res.ScheduledRounds, res.Metrics.TotalBits(), len(res.Union))
+
+	// 4. Verification: one-sided error (every output is a real triangle)
+	//    and completeness (probability >= 1 - 1/n).
+	if err := core.VerifyListing(g, res); err != nil {
+		log.Fatalf("listing incomplete: %v", err)
+	}
+	fmt.Println("verify:  complete and one-sided — T = T(G)")
+
+	// 5. The whole point of Theorem 2: compare with the trivial
+	//    Theta(d_max)-round two-hop baseline as n grows (see
+	//    examples/socialnet and cmd/experiments for the full sweeps).
+	fmt.Printf("\nfor scale: the trivial baseline needs ~d_max/B = %d rounds of\n"+
+		"full neighborhood exchange per node; the paper's algorithm spends its\n"+
+		"rounds on hashed edge samples and Delta(X) certificates instead.\n",
+		g.MaxDegree()/2)
+}

@@ -1,0 +1,169 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestCountMatchesOracleOnConnectedGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(rng *rand.Rand) *graph.Graph
+	}{
+		{"gnp-dense", func(rng *rand.Rand) *graph.Graph { return graph.Gnp(40, 0.5, rng) }},
+		{"gnp-medium", func(rng *rand.Rand) *graph.Graph { return graph.Gnp(40, 0.25, rng) }},
+		{"complete", func(rng *rand.Rand) *graph.Graph { return graph.Complete(20) }},
+		{"ba", func(rng *rand.Rand) *graph.Graph { return graph.BarabasiAlbert(40, 3, rng) }},
+		{"chords", func(rng *rand.Rand) *graph.Graph { return graph.RingWithChords(40, 25, rng) }},
+		{"ring", func(rng *rand.Rand) *graph.Graph { return graph.Ring(20) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			g := tc.mk(rng)
+			want := int64(graph.CountTriangles(g))
+			res, err := CountTriangles(g, 0, sim.Config{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("count = %d, want %d", res.Count, want)
+			}
+			t.Logf("n=%d count=%d rounds=%d", g.N(), res.Count, res.Rounds)
+		})
+	}
+}
+
+func TestCountAllRootsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Gnp(24, 0.5, rng) // connected w.h.p.
+	want := int64(graph.CountTriangles(g))
+	for root := 0; root < g.N(); root += 5 {
+		res, err := CountTriangles(g, root, sim.Config{Seed: int64(root)})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if res.Count != want {
+			t.Fatalf("root %d: count %d, want %d", root, res.Count, want)
+		}
+	}
+}
+
+func TestCountBandwidthIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Gnp(26, 0.4, rng)
+	want := int64(graph.CountTriangles(g))
+	for _, b := range []int{1, 2, 3, 8} {
+		res, err := CountTriangles(g, 0, sim.Config{Seed: 5, BandwidthWords: b})
+		if err != nil {
+			t.Fatalf("B=%d: %v", b, err)
+		}
+		if res.Count != want {
+			t.Fatalf("B=%d: count %d, want %d", b, res.Count, want)
+		}
+	}
+}
+
+func TestCountDisconnectedCountsRootComponent(t *testing.T) {
+	// Two K4 blocks, no cross edges: 4 triangles per component.
+	b := graph.NewBuilder(8)
+	for _, base := range []int{0, 4} {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if err := b.AddEdge(base+i, base+j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g := b.Build()
+	res, err := CountTriangles(g, 0, sim.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 4 {
+		t.Fatalf("count = %d, want the root component's 4", res.Count)
+	}
+}
+
+func TestCountRoundsScaleWithDmaxPlusDiameter(t *testing.T) {
+	// A long ring has tiny d_max but large diameter: rounds ~ D.
+	g := graph.Ring(60)
+	res, err := CountTriangles(g, 0, sim.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 {
+		t.Fatalf("ring count = %d", res.Count)
+	}
+	if res.Rounds < 30 { // diameter/ wave must cross ~n/2
+		t.Fatalf("rounds = %d, expected >= diameter 30", res.Rounds)
+	}
+	// A dense graph has diameter ~2 but d_max ~ n: rounds ~ d_max/B.
+	rng := rand.New(rand.NewSource(8))
+	gd := graph.Gnp(60, 0.5, rng)
+	resD, err := CountTriangles(gd, 0, sim.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resD.Rounds > 60 {
+		t.Fatalf("dense rounds = %d, expected ~d_max/B + O(1)", resD.Rounds)
+	}
+}
+
+// TestCountRoundBudgetFormula: rounds must stay within a small multiple of
+// d_max/B + D, the Theta(d_max + D) claim.
+func TestCountRoundBudgetFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(11)) // #nosec G404
+	for _, g := range []*graph.Graph{
+		graph.Gnp(50, 0.5, rng),
+		graph.Ring(50),
+		graph.BarabasiAlbert(50, 3, rng),
+	} {
+		if !graph.Connected(g) {
+			continue
+		}
+		res, err := CountTriangles(g, 0, sim.Config{Seed: 12, BandwidthWords: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Wave costs D rounds; the sum chain costs <= (1 + ceil(4/B)) per
+		// depth level; plus the two-hop prefix d_max/B.
+		budget := g.MaxDegree()/2 + 4*graph.Diameter(g) + 20
+		if res.Rounds > budget {
+			t.Fatalf("rounds %d exceed dmax/B + 4D + 20 = %d", res.Rounds, budget)
+		}
+	}
+}
+
+func TestCountRejectsBadRoot(t *testing.T) {
+	g := graph.Complete(4)
+	if _, err := CountTriangles(g, -1, sim.Config{}); err == nil {
+		t.Fatal("negative root accepted")
+	}
+	if _, err := CountTriangles(g, 4, sim.Config{}); err == nil {
+		t.Fatal("out-of-range root accepted")
+	}
+}
+
+func TestSumEncoding(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 64, 500} {
+		for _, v := range []int64{0, 1, int64(n) - 1, int64(n), 12345 % MaxCount(n)} {
+			if v > MaxCount(n) {
+				continue
+			}
+			got := decodeSum(encodeSum(v, n), n)
+			if got != v {
+				t.Fatalf("n=%d: roundtrip %d -> %d", n, v, got)
+			}
+		}
+		// C(n,3) must fit.
+		c3 := int64(n) * int64(n-1) * int64(n-2) / 6
+		if c3 > MaxCount(n) {
+			t.Fatalf("n=%d: C(n,3)=%d exceeds MaxCount=%d", n, c3, MaxCount(n))
+		}
+	}
+}

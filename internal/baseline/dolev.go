@@ -1,0 +1,342 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// DolevVariant selects the partition granularity of the Dolev-Lenzen-Peled
+// CONGEST-clique lister.
+type DolevVariant int
+
+const (
+	// DolevCubeRoot partitions V into ceil(n^{1/3}) groups — the
+	// O(n^{1/3} (log n)^{2/3})-round variant of Table 1.
+	DolevCubeRoot DolevVariant = iota + 1
+	// DolevDegreeAware sizes groups by d_max — the degree-sensitive
+	// O(d_max^3 / n)-style variant of Table 1 (fast on sparse graphs).
+	DolevDegreeAware
+)
+
+// dolevPlan is the deterministic, globally-known routing plan: the group
+// partition and the assignment of sorted group-triples to nodes. All nodes
+// derive the identical plan from (n, variant, d_max), mirroring the
+// deterministic algorithm.
+type dolevPlan struct {
+	n         int
+	groupSize int
+	numGroups int
+	// ownerOf[tripleIndex] = node responsible for that sorted group triple.
+	ownerOf []int
+	// tripleIdx maps a sorted triple (a<=b<=c) to its index.
+	tripleIdx map[[3]int]int
+	// ownTriples[v] lists the triple indices node v is responsible for.
+	ownTriples [][]int
+}
+
+func newDolevPlan(n int, variant DolevVariant, maxDegree int) (*dolevPlan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: empty network")
+	}
+	var gs int
+	switch variant {
+	case DolevCubeRoot:
+		g := int(math.Ceil(math.Cbrt(float64(n))))
+		if g < 1 {
+			g = 1
+		}
+		gs = (n + g - 1) / g
+	case DolevDegreeAware:
+		gs = maxDegree
+		if gs < 1 {
+			gs = 1
+		}
+		if gs > n {
+			gs = n
+		}
+	default:
+		return nil, fmt.Errorf("baseline: unknown Dolev variant %d", variant)
+	}
+	p := &dolevPlan{
+		n:          n,
+		groupSize:  gs,
+		numGroups:  (n + gs - 1) / gs,
+		tripleIdx:  make(map[[3]int]int),
+		ownTriples: make([][]int, n),
+	}
+	idx := 0
+	for a := 0; a < p.numGroups; a++ {
+		for b := a; b < p.numGroups; b++ {
+			for c := b; c < p.numGroups; c++ {
+				key := [3]int{a, b, c}
+				p.tripleIdx[key] = idx
+				owner := idx % n
+				p.ownerOf = append(p.ownerOf, owner)
+				p.ownTriples[owner] = append(p.ownTriples[owner], idx)
+				idx++
+			}
+		}
+	}
+	return p, nil
+}
+
+func (p *dolevPlan) group(v int) int { return v / p.groupSize }
+
+// destinations returns the distinct owners of triples containing the group
+// pair {group(u), group(v)}.
+func (p *dolevPlan) destinations(u, v int) []int {
+	gu, gv := p.group(u), p.group(v)
+	if gu > gv {
+		gu, gv = gv, gu
+	}
+	seen := make(map[int]struct{}, p.numGroups)
+	out := make([]int, 0, p.numGroups)
+	for x := 0; x < p.numGroups; x++ {
+		a, b, c := gu, gv, x
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		owner := p.ownerOf[p.tripleIdx[[3]int{a, b, c}]]
+		if _, dup := seen[owner]; !dup {
+			seen[owner] = struct{}{}
+			out = append(out, owner)
+		}
+	}
+	return out
+}
+
+// DolevRouting selects how edge announcements travel across the clique.
+type DolevRouting int
+
+const (
+	// DirectRouting pushes every edge straight from its owner to each
+	// responsible node. Simple, but a sender whose edges concentrate on few
+	// owners congests those channels.
+	DirectRouting DolevRouting = iota + 1
+	// RelayRouting is a Lenzen-style two-hop balanced route: each owner
+	// spreads its (destination, edge) messages round-robin over all nodes
+	// as relays, and relays forward them. Per-channel load drops to
+	// ~(per-node traffic)/n, the guarantee Lenzen's routing scheme provides
+	// in the original Dolev et al. algorithm.
+	RelayRouting
+)
+
+// NewDolev builds the Dolev-Lenzen-Peled deterministic triangle lister for
+// the CONGEST clique (sim.ModeClique required) with direct routing. See
+// NewDolevRouted for the Lenzen-style balanced variant.
+func NewDolev(g *graph.Graph, b int, variant DolevVariant) (*sim.Schedule, func(id int) sim.Node, error) {
+	return NewDolevRouted(g, b, variant, DirectRouting)
+}
+
+// NewDolevRouted builds the clique lister with the chosen routing scheme.
+// Both the partition plan and the routing assignment are deterministic, so
+// the exact per-channel makespan is computed from the input graph and used
+// as the schedule — the measured rounds are the true round complexity of
+// the run.
+func NewDolevRouted(g *graph.Graph, b int, variant DolevVariant, routing DolevRouting) (*sim.Schedule, func(id int) sim.Node, error) {
+	plan, err := newDolevPlan(g.N(), variant, g.MaxDegree())
+	if err != nil {
+		return nil, nil, err
+	}
+	sched := &sim.Schedule{}
+	switch routing {
+	case DirectRouting:
+		maxLoad := 0
+		load := make(map[[2]int]int)
+		forEachAnnouncement(g, plan, func(u, v, w int) {
+			key := [2]int{u, w}
+			load[key]++
+			if load[key] > maxLoad {
+				maxLoad = load[key]
+			}
+		})
+		sched.Add("dolev-direct", atLeast1(sim.RoundsFor(maxLoad, b)))
+	case RelayRouting:
+		// Replicate each node's deterministic relay assignment to size both
+		// phases exactly.
+		scatter := make(map[[2]int]int)
+		forward := make(map[[2]int]int)
+		seq := make([]int, g.N())
+		max0, max1 := 0, 0
+		forEachAnnouncement(g, plan, func(u, v, w int) {
+			r := relayOf(u, seq[u], g.N())
+			seq[u]++
+			k0 := [2]int{u, r}
+			scatter[k0] += 2 // (dest, v)
+			if scatter[k0] > max0 {
+				max0 = scatter[k0]
+			}
+			if r == w {
+				return // relay is the destination; no forward hop
+			}
+			k1 := [2]int{r, w}
+			forward[k1] += 2 // (u, v)
+			if forward[k1] > max1 {
+				max1 = forward[k1]
+			}
+		})
+		sched.Add("dolev-scatter", atLeast1(sim.RoundsFor(max0, b)))
+		sched.Add("dolev-forward", atLeast1(sim.RoundsFor(max1, b)))
+	default:
+		return nil, nil, fmt.Errorf("baseline: unknown routing %d", routing)
+	}
+	mk := func(id int) sim.Node {
+		return core.NewPhasedNode(sched, &dolevHandler{
+			plan:    plan,
+			routing: routing,
+			relayIn: core.NewFixedAssembler(2),
+			fwdIn:   core.NewFixedAssembler(2),
+		})
+	}
+	return sched, mk, nil
+}
+
+// forEachAnnouncement visits every (owner u, other endpoint v, responsible
+// node w) triple, in the exact deterministic order nodes themselves use.
+func forEachAnnouncement(g *graph.Graph, plan *dolevPlan, visit func(u, v, w int)) {
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u > v {
+				continue // the lower endpoint owns the edge
+			}
+			for _, w := range plan.destinations(u, v) {
+				if w == u || w == v {
+					continue // endpoints already know the edge
+				}
+				visit(u, v, w)
+			}
+		}
+	}
+}
+
+// relayOf returns the relay for node u's seq-th message: cycles over all
+// nodes except u, with a per-sender stagger so different senders' message
+// streams do not land on the same relay in lockstep (which would re-create
+// the congestion the relays exist to remove).
+func relayOf(u, seq, n int) int {
+	r := (seq + u*7) % (n - 1)
+	if r >= u {
+		r++
+	}
+	return r
+}
+
+func atLeast1(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+type dolevHandler struct {
+	plan    *dolevPlan
+	routing DolevRouting
+	edges   []graph.Edge
+	relayIn *core.FixedAssembler // phase-0 records at relays: (dest, v)
+	fwdIn   *core.FixedAssembler // phase-1 records at owners: (u, v)
+	relayed []relayMsg
+}
+
+type relayMsg struct{ dest, u, v int }
+
+func (h *dolevHandler) Start(ctx *sim.Context, phase int) {
+	me := ctx.ID()
+	switch {
+	case phase == 0 && h.routing == DirectRouting:
+		for _, v := range ctx.InputNeighbors() {
+			if me > v {
+				continue
+			}
+			for _, w := range h.plan.destinations(me, v) {
+				if w == me || w == v {
+					continue
+				}
+				ctx.SendTo(w, sim.Word(v))
+			}
+		}
+	case phase == 0 && h.routing == RelayRouting:
+		seq := 0
+		for _, v := range ctx.InputNeighbors() {
+			if me > v {
+				continue
+			}
+			for _, w := range h.plan.destinations(me, v) {
+				if w == me || w == v {
+					continue
+				}
+				r := relayOf(me, seq, ctx.N())
+				seq++
+				ctx.SendTo(r, sim.Word(w), sim.Word(v))
+			}
+		}
+	case phase == 1 && h.routing == RelayRouting:
+		// Forward everything buffered during the scatter phase.
+		for _, m := range h.relayed {
+			ctx.SendTo(m.dest, sim.Word(m.u), sim.Word(m.v))
+		}
+		h.relayed = nil
+	}
+}
+
+func (h *dolevHandler) Receive(ctx *sim.Context, phase int, d sim.Delivery) {
+	switch {
+	case h.routing == DirectRouting:
+		for _, w := range d.Words {
+			h.edges = append(h.edges, graph.NewEdge(d.From, int(w)))
+		}
+	case phase == 0: // scatter records at relays: (dest, v) from owner u
+		h.relayIn.Feed(d, func(from int, rec []sim.Word) {
+			dest, v := int(rec[0]), int(rec[1])
+			if dest == ctx.ID() {
+				// The relay itself is the responsible node.
+				h.edges = append(h.edges, graph.NewEdge(from, v))
+				return
+			}
+			h.relayed = append(h.relayed, relayMsg{dest: dest, u: from, v: v})
+		})
+	case phase == 1: // forwarded records at owners: (u, v)
+		h.fwdIn.Feed(d, func(from int, rec []sim.Word) {
+			h.edges = append(h.edges, graph.NewEdge(int(rec[0]), int(rec[1])))
+		})
+	}
+}
+
+func (h *dolevHandler) Finish(ctx *sim.Context) {
+	// Add locally-known incident edges: for any triple this node owns whose
+	// triangles touch it, the incident edges complete the picture (owners
+	// never ship an edge to one of its endpoints).
+	me := ctx.ID()
+	for _, v := range ctx.InputNeighbors() {
+		h.edges = append(h.edges, graph.NewEdge(me, v))
+	}
+	for _, t := range graph.TrianglesAmongEdges(h.edges) {
+		if t.Contains(me) || h.ownsTripleOf(t, me) {
+			ctx.Output(t)
+		}
+	}
+}
+
+// ownsTripleOf reports whether node me owns the sorted group-triple of t —
+// the responsibility criterion that guarantees every triangle is output by
+// at least its triple's owner. (Triangles containing me are also output;
+// duplicates are allowed by the listing definition.)
+func (h *dolevHandler) ownsTripleOf(t graph.Triangle, me int) bool {
+	a, b, c := h.plan.group(t.A), h.plan.group(t.B), h.plan.group(t.C)
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return h.plan.ownerOf[h.plan.tripleIdx[[3]int{a, b, c}]] == me
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+)
+
+// Params carries the tunables shared by the paper's algorithms.
+type Params struct {
+	// N is the network size (known to all nodes).
+	N int
+	// Eps is the heaviness exponent: a triangle is heavy when some edge
+	// lies in at least N^Eps triangles.
+	Eps float64
+	// B is the channel bandwidth in words per round (from sim.Config).
+	B int
+}
+
+// EpsFindingPure is the Theorem-1 exponent with the polylog factor dropped:
+// n^eps = n^{1/3}. Using the pure exponent keeps measured scaling curves
+// clean at benchmark sizes, where log factors would otherwise dominate.
+const EpsFindingPure = 1.0 / 3.0
+
+// EpsListingPure is the Theorem-2 exponent with the polylog factor dropped:
+// n^eps = n^{1/2}.
+const EpsListingPure = 0.5
+
+// EpsFindingLogCorrected returns the exact Theorem-1 choice
+// n^eps = n^{1/3}/(log n)^{2/3}, clamped to [0.05, 1]. At practical sizes
+// the clamp is active below roughly n = 200 (the asymptotic regime of the
+// theorem statement).
+func EpsFindingLogCorrected(n int) float64 {
+	return clampEps(epsFor(n, 1.0/3.0, 2.0/3.0))
+}
+
+// EpsListingLogCorrected returns the exact Theorem-2 choice
+// n^eps = n^{1/2}/(log n)^2, clamped to [0.05, 1].
+func EpsListingLogCorrected(n int) float64 {
+	return clampEps(epsFor(n, 0.5, 2.0))
+}
+
+// epsFor solves n^eps = n^base / (log2 n)^logPow for eps.
+func epsFor(n int, base, logPow float64) float64 {
+	if n < 4 {
+		return base
+	}
+	ln := math.Log(float64(n))
+	return base - logPow*math.Log(math.Log2(float64(n)))/ln
+}
+
+func clampEps(e float64) float64 {
+	if e < 0.05 {
+		return 0.05
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// HeavyThresholdOf returns n^eps as used by the algorithms.
+func (p Params) HeavyThresholdOf() float64 {
+	return math.Pow(float64(p.N), p.Eps)
+}
+
+// A1SetCap returns 4*n^{1-eps}, the size threshold above which Algorithm A1
+// suppresses the sampled set S_j (Proposition 1).
+func (p Params) A1SetCap() int {
+	return int(math.Ceil(4 * math.Pow(float64(p.N), 1-p.Eps)))
+}
+
+// A2Buckets returns floor(n^{eps/2}), the hash range of Algorithm A2
+// (at least 1).
+func (p Params) A2Buckets() int {
+	r := int(math.Floor(math.Pow(float64(p.N), p.Eps/2)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// A2EdgeCap returns floor(8 + 4n/floor(n^{eps/2})), the per-channel edge-set
+// threshold of Algorithm A2 step 2 (Figure 1).
+func (p Params) A2EdgeCap() int {
+	return int(math.Floor(8 + 4*float64(p.N)/float64(p.A2Buckets())))
+}
+
+// XSampleProb returns 1/(9 n^eps), the Algorithm-A3 sampling probability
+// for the set X (Lemma 2).
+func (p Params) XSampleProb() float64 {
+	return 1 / (9 * math.Pow(float64(p.N), p.Eps))
+}
+
+// XCap returns ceil((2/9) n^{1-eps}) + 2: the Chernoff-justified size bound
+// on |X| beyond which Algorithm A3 truncates (the paper instead aborts the
+// attempt; truncation preserves one-sided correctness and the same failure
+// probability, see DESIGN.md).
+func (p Params) XCap() int {
+	return int(math.Ceil(2.0/9.0*math.Pow(float64(p.N), 1-p.Eps))) + 2
+}
+
+// GoodThreshold returns r = sqrt(54 n^{1+eps} ln n), the good-node threshold
+// of Lemma 3 and Algorithm A(X,r).
+func (p Params) GoodThreshold() float64 {
+	n := float64(p.N)
+	l := math.Log(n)
+	if l < 1 {
+		l = 1
+	}
+	return math.Sqrt(54 * math.Pow(n, 1+p.Eps) * l)
+}
+
+// WhileIterations returns floor(log2 n)+1, the worst-case iteration count of
+// the A(X,r) while loop (Proposition 4).
+func (p Params) WhileIterations() int {
+	if p.N < 2 {
+		return 1
+	}
+	return int(math.Floor(math.Log2(float64(p.N)))) + 1
+}

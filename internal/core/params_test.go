@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEpsLogCorrectedSolvesEquation(t *testing.T) {
+	// For large n (past the clamp), n^eps must equal the stated threshold.
+	n := 1 << 20
+	eps := EpsFindingLogCorrected(n)
+	got := math.Pow(float64(n), eps)
+	want := math.Cbrt(float64(n)) / math.Pow(math.Log2(float64(n)), 2.0/3.0)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("finding threshold %.4f, want %.4f", got, want)
+	}
+	eps = EpsListingLogCorrected(n)
+	got = math.Pow(float64(n), eps)
+	want = math.Sqrt(float64(n)) / math.Pow(math.Log2(float64(n)), 2)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("listing threshold %.4f, want %.4f", got, want)
+	}
+}
+
+func TestEpsClamped(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1 << 20} {
+		fe := EpsFindingLogCorrected(n)
+		le := EpsListingLogCorrected(n)
+		if fe < 0.05 || fe > 1 || le < 0.05 || le > 1 {
+			t.Fatalf("n=%d: eps out of clamp range: %v %v", n, fe, le)
+		}
+	}
+}
+
+func TestParamFormulas(t *testing.T) {
+	p := Params{N: 256, Eps: 0.5, B: 2}
+	if got := p.HeavyThresholdOf(); got != 16 {
+		t.Fatalf("threshold = %v, want 16", got)
+	}
+	if got := p.A1SetCap(); got != 64 { // 4 * 256^{0.5}
+		t.Fatalf("A1SetCap = %d, want 64", got)
+	}
+	if got := p.A2Buckets(); got != 4 { // floor(256^{0.25})
+		t.Fatalf("A2Buckets = %d, want 4", got)
+	}
+	if got := p.A2EdgeCap(); got != 8+256 { // floor(8 + 4*256/4)
+		t.Fatalf("A2EdgeCap = %d, want 264", got)
+	}
+	if got := p.XSampleProb(); math.Abs(got-1.0/144) > 1e-12 {
+		t.Fatalf("XSampleProb = %v, want 1/144", got)
+	}
+	// XCap = ceil(2/9 * 16) + 2 = 4 + 2.
+	if got := p.XCap(); got != 6 {
+		t.Fatalf("XCap = %d, want 6", got)
+	}
+	wantR := math.Sqrt(54 * math.Pow(256, 1.5) * math.Log(256))
+	if got := p.GoodThreshold(); math.Abs(got-wantR) > 1e-9 {
+		t.Fatalf("GoodThreshold = %v, want %v", got, wantR)
+	}
+	if got := p.WhileIterations(); got != 9 { // floor(log2 256)+1
+		t.Fatalf("WhileIterations = %d, want 9", got)
+	}
+}
+
+func TestParamEdgeCases(t *testing.T) {
+	p := Params{N: 1, Eps: 1, B: 1}
+	if p.A2Buckets() < 1 {
+		t.Fatal("buckets must be >= 1")
+	}
+	if p.WhileIterations() < 1 {
+		t.Fatal("iterations must be >= 1")
+	}
+	if p.GoodThreshold() <= 0 {
+		t.Fatal("threshold must be positive")
+	}
+	// eps = 0: everything is heavy; A1 cap is 4n.
+	p0 := Params{N: 100, Eps: 0, B: 2}
+	if p0.A1SetCap() != 400 {
+		t.Fatalf("A1SetCap = %d", p0.A1SetCap())
+	}
+	if p0.A2Buckets() != 1 {
+		t.Fatalf("A2Buckets = %d", p0.A2Buckets())
+	}
+}

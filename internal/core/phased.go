@@ -1,0 +1,163 @@
+// Package core implements the paper's algorithms: A1 (Proposition 1),
+// A2 (Proposition 2 / Figure 1), A(X,r) (Figure 2 / Proposition 4),
+// A3 (Proposition 3), the Theorem-1 triangle finder and the Theorem-2
+// triangle lister, all as phase-synchronous CONGEST state machines.
+package core
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// PhaseHandler is the per-node logic of a phase-synchronous algorithm.
+//
+// The contract mirrors the paper's step-by-step style:
+//
+//   - Start(ctx, p) fires once when phase p begins; this is the only place a
+//     node enqueues sends (the engine trickles them at B words/round, which
+//     is what makes measured rounds equal the model's round complexity).
+//   - Receive(ctx, p, d) fires for every delivery; p is the phase the data
+//     was sent in (a word enqueued in phase p is always delivered by the
+//     first round of phase p+1, and Receive for it runs before Start(p+1)).
+//   - Finish(ctx) fires once after the final phase's data has drained.
+type PhaseHandler interface {
+	Start(ctx *sim.Context, phase int)
+	Receive(ctx *sim.Context, phase int, d sim.Delivery)
+	Finish(ctx *sim.Context)
+}
+
+// phasedNode adapts a PhaseHandler + Schedule into a sim.Node.
+type phasedNode struct {
+	sched    *sim.Schedule
+	h        PhaseHandler
+	next     int
+	finished bool
+}
+
+// NewPhasedNode wraps handler h driven by schedule sched. The node needs
+// sched.Total()+1 rounds to run to completion (the +1 drains the final
+// phase's in-flight words).
+func NewPhasedNode(sched *sim.Schedule, h PhaseHandler) sim.Node {
+	return &phasedNode{sched: sched, h: h}
+}
+
+// TotalRounds returns the number of engine rounds a phased algorithm with
+// the given schedule needs: Total()+1 (see NewPhasedNode).
+func TotalRounds(sched *sim.Schedule) int { return sched.Total() + 1 }
+
+func (p *phasedNode) Init(ctx *sim.Context) {}
+
+func (p *phasedNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
+	// Words delivered at round r were in flight during round r-1, hence
+	// belong to the phase covering r-1.
+	for _, d := range inbox {
+		ph, _ := p.sched.PhaseAt(round - 1)
+		p.h.Receive(ctx, ph, d)
+	}
+	for p.next < p.sched.NumPhases() && p.sched.PhaseStart(p.next) == round {
+		p.h.Start(ctx, p.next)
+		p.next++
+	}
+	if round >= p.sched.Total() {
+		if !p.finished {
+			p.finished = true
+			p.h.Finish(ctx)
+			ctx.SetDone()
+		}
+		ctx.SleepUntil(math.MaxInt32)
+		return
+	}
+	// Sleep to the next phase boundary (or the drain round); deliveries
+	// still wake the node early.
+	nxt := p.sched.Total()
+	if p.next < p.sched.NumPhases() {
+		nxt = p.sched.PhaseStart(p.next)
+	}
+	ctx.SleepUntil(nxt)
+}
+
+// FixedAssembler reassembles fixed-size records that the engine may split
+// across rounds (e.g. a 3-word hash description at bandwidth 2). Records
+// are keyed by sender.
+type FixedAssembler struct {
+	size    int
+	partial map[int][]sim.Word
+}
+
+// NewFixedAssembler returns an assembler for `size`-word records.
+func NewFixedAssembler(size int) *FixedAssembler {
+	return &FixedAssembler{size: size, partial: make(map[int][]sim.Word)}
+}
+
+// Feed consumes a delivery and invokes emit for every completed record from
+// that sender.
+func (a *FixedAssembler) Feed(d sim.Delivery, emit func(from int, rec []sim.Word)) {
+	buf := append(a.partial[d.From], d.Words...)
+	for len(buf) >= a.size {
+		emit(d.From, buf[:a.size])
+		buf = buf[a.size:]
+	}
+	a.partial[d.From] = buf
+}
+
+// TooBig is the sentinel header used in Algorithm A(X,r) step 4.1 when a
+// set exceeds the threshold r and is therefore not transmitted.
+const TooBig = ^sim.Word(0)
+
+// HeaderAssembler reassembles header-prefixed variable-length records: the
+// first word is either a length or the TooBig sentinel, followed by that
+// many body words. Records are keyed by sender.
+type HeaderAssembler struct {
+	partial map[int]*headerState
+}
+
+type headerState struct {
+	haveHeader bool
+	want       int
+	body       []sim.Word
+}
+
+// NewHeaderAssembler returns an empty assembler.
+func NewHeaderAssembler() *HeaderAssembler {
+	return &HeaderAssembler{partial: make(map[int]*headerState)}
+}
+
+// Feed consumes a delivery and invokes emit for every completed record:
+// tooBig records carry a nil body.
+func (a *HeaderAssembler) Feed(d sim.Delivery, emit func(from int, tooBig bool, body []sim.Word)) {
+	st := a.partial[d.From]
+	if st == nil {
+		st = &headerState{}
+		a.partial[d.From] = st
+	}
+	ws := d.Words
+	for len(ws) > 0 {
+		if !st.haveHeader {
+			h := ws[0]
+			ws = ws[1:]
+			if h == TooBig {
+				emit(d.From, true, nil)
+				continue
+			}
+			st.haveHeader = true
+			st.want = int(h)
+			st.body = st.body[:0]
+			if st.want == 0 {
+				st.haveHeader = false
+				emit(d.From, false, nil)
+			}
+			continue
+		}
+		take := st.want - len(st.body)
+		if take > len(ws) {
+			take = len(ws)
+		}
+		st.body = append(st.body, ws[:take]...)
+		ws = ws[take:]
+		if len(st.body) == st.want {
+			st.haveHeader = false
+			emit(d.From, false, st.body)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Result bundles the outcome of one algorithm run.
+type Result struct {
+	// Outputs is each node's T_i in output order.
+	Outputs [][]graph.Triangle
+	// Union is the deduplicated combined output T.
+	Union graph.TriangleSet
+	// Metrics is the engine's communication accounting.
+	Metrics sim.Metrics
+	// ScheduledRounds is the algorithm's scheduled (worst-case) duration —
+	// the quantity the paper's round-complexity bounds describe.
+	ScheduledRounds int
+}
+
+// RunSingle executes a single-schedule algorithm on g.
+func RunSingle(g *graph.Graph, sched *sim.Schedule, mk func(id int) sim.Node, cfg sim.Config) (Result, error) {
+	nodes := make([]sim.Node, g.N())
+	for v := range nodes {
+		nodes[v] = mk(v)
+	}
+	return runNodes(g, nodes, TotalRounds(sched), cfg)
+}
+
+// RunSequence executes a sequence of segments (e.g. the Theorem-1 finder's
+// repeated A1;A3) on g.
+func RunSequence(g *graph.Graph, segs []Segment, cfg sim.Config) (Result, error) {
+	if len(segs) == 0 {
+		return Result{}, fmt.Errorf("core: empty segment sequence")
+	}
+	nodes := make([]sim.Node, g.N())
+	for v := range nodes {
+		nodes[v] = NewSequenceNode(segs, v)
+	}
+	return runNodes(g, nodes, SequenceRounds(segs), cfg)
+}
+
+func runNodes(g *graph.Graph, nodes []sim.Node, rounds int, cfg sim.Config) (Result, error) {
+	eng, err := sim.NewEngine(g, nodes, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	eng.Run(rounds)
+	if pend := eng.PendingWords(); pend != 0 {
+		return Result{}, fmt.Errorf("core: %d words still queued after scheduled %d rounds (phase budget bug)", pend, rounds)
+	}
+	return Result{
+		Outputs:         eng.Outputs(),
+		Union:           eng.OutputUnion(),
+		Metrics:         eng.Metrics(),
+		ScheduledRounds: rounds,
+	}, nil
+}
+
+// FindTriangles runs the Theorem-1 finder on g and reports whether a
+// triangle was found (plus the full result).
+func FindTriangles(g *graph.Graph, opt FinderOptions, cfg sim.Config) (bool, Result, error) {
+	segs, err := NewFinder(g.N(), bandwidthOf(cfg), opt)
+	if err != nil {
+		return false, Result{}, err
+	}
+	res, err := RunSequence(g, segs, cfg)
+	if err != nil {
+		return false, Result{}, err
+	}
+	return len(res.Union) > 0, res, nil
+}
+
+// ListAllTriangles runs the Theorem-2 lister on g.
+func ListAllTriangles(g *graph.Graph, opt ListerOptions, cfg sim.Config) (Result, error) {
+	segs, err := NewLister(g.N(), bandwidthOf(cfg), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunSequence(g, segs, cfg)
+}
+
+func bandwidthOf(cfg sim.Config) int {
+	if cfg.BandwidthWords > 0 {
+		return cfg.BandwidthWords
+	}
+	return 2
+}
+
+// VerifyOneSided checks the model's one-sided-error requirement: every
+// output triple must be a triangle of g. It returns the first violation.
+func VerifyOneSided(g *graph.Graph, res Result) error {
+	for node, ts := range res.Outputs {
+		for _, t := range ts {
+			if !t.Valid() || !g.HasEdge(t.A, t.B) || !g.HasEdge(t.A, t.C) || !g.HasEdge(t.B, t.C) {
+				return fmt.Errorf("node %d output non-triangle %v", node, t)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyListing checks that the run listed T(G) completely (and one-sided).
+func VerifyListing(g *graph.Graph, res Result) error {
+	if err := VerifyOneSided(g, res); err != nil {
+		return err
+	}
+	truth := graph.NewTriangleSet(graph.ListTriangles(g))
+	for t := range truth {
+		if !res.Union.Has(t) {
+			return fmt.Errorf("triangle %v of G missing from output (got %d of %d)", t, len(res.Union), len(truth))
+		}
+	}
+	return nil
+}
+
+// VerifyFinding checks the finding contract: one-sided outputs, and a
+// nonempty output whenever G has a triangle.
+func VerifyFinding(g *graph.Graph, res Result) error {
+	if err := VerifyOneSided(g, res); err != nil {
+		return err
+	}
+	if graph.CountTriangles(g) > 0 && len(res.Union) == 0 {
+		return fmt.Errorf("G has triangles but none was found")
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package expt
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitExponentExact(t *testing.T) {
+	cases := []struct {
+		name string
+		exp  float64
+	}{
+		{"linear", 1}, {"sqrt", 0.5}, {"cubic", 3}, {"inverse", -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var xs, ys []float64
+			for _, x := range []float64{8, 16, 32, 64, 128} {
+				xs = append(xs, x)
+				ys = append(ys, 5*math.Pow(x, tc.exp))
+			}
+			f, err := FitExponent(xs, ys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(f.Exponent-tc.exp) > 1e-9 {
+				t.Fatalf("exponent %v, want %v", f.Exponent, tc.exp)
+			}
+			if math.Abs(f.Scale-5) > 1e-6 {
+				t.Fatalf("scale %v, want 5", f.Scale)
+			}
+			if f.R2 < 0.999999 {
+				t.Fatalf("R2 %v for exact power law", f.R2)
+			}
+		})
+	}
+}
+
+func TestFitExponentRejectsDegenerate(t *testing.T) {
+	if _, err := FitExponent([]float64{2}, []float64{4}); err == nil {
+		t.Fatal("want error for single point")
+	}
+	if _, err := FitExponent([]float64{2, 2}, []float64{4, 8}); err == nil {
+		t.Fatal("want error for identical x")
+	}
+	if _, err := FitExponent([]float64{1, 2}, []float64{3}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+	if _, err := FitExponent([]float64{-1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("want error when no positive points remain")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "demo", Metric: "rounds", Cols: []string{"rounds"}}
+	tbl.AddPoint(16, map[string]float64{"rounds": 8})
+	tbl.AddPoint(64, map[string]float64{"rounds": 16})
+	tbl.AddPoint(32, map[string]float64{"rounds": 11.3})
+	tbl.Finalize(func(n int) float64 { return math.Sqrt(float64(n)) })
+	if tbl.Points[0].N != 16 || tbl.Points[2].N != 64 {
+		t.Fatal("points not sorted by n")
+	}
+	if math.Abs(tbl.Measured.Exponent-0.5) > 0.02 {
+		t.Fatalf("measured exponent %v, want ~0.5", tbl.Measured.Exponent)
+	}
+	if math.Abs(tbl.Theory.Exponent-0.5) > 1e-9 {
+		t.Fatalf("theory exponent %v, want 0.5", tbl.Theory.Exponent)
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "rounds", "fitted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "n,rounds\n16,8\n") {
+		t.Fatalf("csv unexpected:\n%s", buf.String())
+	}
+}
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Fatalf("ByID(%s) failed: %v", e.ID, err)
+		}
+		if e.Run == nil {
+			t.Fatalf("experiment %s has no Run", e.ID)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("want error for unknown id")
+	}
+}
+
+// TestQuickExperimentsRun exercises every registered experiment end to end
+// at smoke sizes; each experiment self-verifies correctness internally.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs all experiments")
+	}
+	cfg := Config{Quick: true, Seed: 42, Sizes: []int{20, 28, 36}}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Points) == 0 {
+				t.Fatalf("%s: no points", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := tbl.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			t.Log("\n" + buf.String())
+		})
+	}
+}

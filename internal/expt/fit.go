@@ -1,0 +1,82 @@
+// Package expt is the experiment harness: it regenerates every row of the
+// paper's Table 1 (plus the lower-bound measurements and design ablations)
+// as scaling tables with fitted log-log exponents, comparing measured
+// behaviour against the proved bounds.
+package expt
+
+import (
+	"errors"
+	"math"
+)
+
+// Fit is the result of a least-squares fit of log(y) = a + e*log(x).
+type Fit struct {
+	Exponent float64 // e
+	Scale    float64 // exp(a)
+	R2       float64 // coefficient of determination in log space
+	OK       bool
+}
+
+// FitExponent fits a power law y = C * x^e through positive points.
+// Points with non-positive coordinates are skipped; at least two distinct
+// x values are required.
+func FitExponent(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, errors.New("expt: mismatched series lengths")
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return Fit{}, errors.New("expt: need at least two positive points")
+	}
+	n := float64(len(lx))
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}, errors.New("expt: degenerate x values")
+	}
+	e := (n*sxy - sx*sy) / den
+	a := (sy - e*sx) / n
+	// R^2.
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range lx {
+		pred := a + e*lx[i]
+		ssTot += (ly[i] - meanY) * (ly[i] - meanY)
+		ssRes += (ly[i] - pred) * (ly[i] - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Exponent: e, Scale: math.Exp(a), R2: r2, OK: true}, nil
+}
+
+// TheoryExponent fits the same power law to a theory formula sampled at the
+// given sizes — the apples-to-apples comparison target for a measured fit
+// over the identical range (log factors make the apparent exponent of, say,
+// n^{3/4} log n exceed 3/4 at finite n).
+func TheoryExponent(sizes []int, formula func(n int) float64) Fit {
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(sizes))
+	for i, n := range sizes {
+		xs[i] = float64(n)
+		ys[i] = formula(n)
+	}
+	f, err := FitExponent(xs, ys)
+	if err != nil {
+		return Fit{}
+	}
+	return f
+}

@@ -1,0 +1,121 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Point is one sweep sample: all measured values for one network size.
+type Point struct {
+	N    int
+	Vals map[string]float64
+}
+
+// Table is one experiment's output: a sweep over n with named value
+// columns, plus the fitted and theoretical exponents of the headline
+// metric.
+type Table struct {
+	ID         string
+	Title      string
+	PaperBound string
+	Metric     string // headline column fitted against n
+	Cols       []string
+	Points     []Point
+	Measured   Fit
+	Theory     Fit
+	Notes      []string
+}
+
+// AddPoint appends a sample.
+func (t *Table) AddPoint(n int, vals map[string]float64) {
+	t.Points = append(t.Points, Point{N: n, Vals: vals})
+}
+
+// Finalize sorts points by n and fits the headline metric, comparing with
+// the theory formula sampled over the same sizes.
+func (t *Table) Finalize(theory func(n int) float64) {
+	sort.Slice(t.Points, func(i, j int) bool { return t.Points[i].N < t.Points[j].N })
+	var xs, ys []float64
+	var sizes []int
+	for _, p := range t.Points {
+		xs = append(xs, float64(p.N))
+		ys = append(ys, p.Vals[t.Metric])
+		sizes = append(sizes, p.N)
+	}
+	if f, err := FitExponent(xs, ys); err == nil {
+		t.Measured = f
+	}
+	if theory != nil {
+		t.Theory = TheoryExponent(sizes, theory)
+	}
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	if t.PaperBound != "" {
+		fmt.Fprintf(&b, "   paper bound: %s\n", t.PaperBound)
+	}
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "n")
+	for _, c := range t.Cols {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprintln(tw)
+	for _, p := range t.Points {
+		fmt.Fprintf(tw, "%d", p.N)
+		for _, c := range t.Cols {
+			fmt.Fprintf(tw, "\t%s", formatVal(p.Vals[c]))
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if t.Measured.OK {
+		fmt.Fprintf(&b, "   fitted %s ~ n^%.3f (R2=%.3f)", t.Metric, t.Measured.Exponent, t.Measured.R2)
+		if t.Theory.OK {
+			fmt.Fprintf(&b, "; theory over same range ~ n^%.3f", t.Theory.Exponent)
+		}
+		fmt.Fprintln(&b)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", note)
+	}
+	fmt.Fprintln(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e9 && v > -1e9:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// WriteCSV writes the table's points as CSV (n plus value columns).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "n,%s\n", strings.Join(t.Cols, ",")); err != nil {
+		return err
+	}
+	for _, p := range t.Points {
+		row := make([]string, 0, len(t.Cols)+1)
+		row = append(row, fmt.Sprintf("%d", p.N))
+		for _, c := range t.Cols {
+			row = append(row, fmt.Sprintf("%g", p.Vals[c]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ExampleListTriangles shows the centralized oracle on a small hand-built
+// graph.
+func ExampleListTriangles() {
+	b := graph.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	g := b.Build()
+	for _, t := range graph.ListTriangles(g) {
+		fmt.Println(t)
+	}
+	// Output:
+	// {0,1,2}
+	// {2,3,4}
+}
+
+// ExampleEdgeTriangleCounts computes the paper's #(e) multiplicities.
+func ExampleEdgeTriangleCounts() {
+	g := graph.Complete(4)
+	counts := graph.EdgeTriangleCounts(g)
+	fmt.Println("#({0,1}) in K4:", counts[graph.NewEdge(0, 1)])
+	// Output:
+	// #({0,1}) in K4: 2
+}

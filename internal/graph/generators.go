@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Gnp samples an Erdos-Renyi random graph G(n, p): every unordered pair is
+// an edge independently with probability p. G(n, 1/2) is the hard input
+// distribution used by the paper's lower bounds (Section 4).
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				mustAdd(b, u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(b, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Empty returns the edgeless graph on n vertices.
+func Empty(n int) *Graph { return NewBuilder(n).Build() }
+
+// RandomBipartite samples a bipartite (hence triangle-free) random graph:
+// vertices [0, nl) on the left, [nl, nl+nr) on the right, each cross pair an
+// edge with probability p.
+func RandomBipartite(nl, nr int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(nl + nr)
+	for u := 0; u < nl; u++ {
+		for v := nl; v < nl+nr; v++ {
+			if rng.Float64() < p {
+				mustAdd(b, u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Ring returns the n-cycle (triangle-free for n >= 4).
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if n > 1 {
+			mustAdd(b, v, (v+1)%n)
+		}
+	}
+	if n == 2 {
+		// The loop above added {0,1} twice (idempotent); nothing to fix.
+		_ = n
+	}
+	return b.Build()
+}
+
+// RingWithChords returns an n-cycle plus k uniformly random chords. Chords
+// may create triangles; useful for sparse low-diameter topologies.
+func RingWithChords(n, k int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		mustAdd(b, v, (v+1)%n)
+	}
+	for added := 0; added < k; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || b.HasEdge(u, v) {
+			added++ // avoid livelock on dense small graphs
+			continue
+		}
+		mustAdd(b, u, v)
+		added++
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert samples a preferential-attachment power-law graph: each new
+// vertex attaches to k existing vertices chosen proportionally to degree.
+// Such graphs have the skewed degree distributions of real social networks
+// (the triangle-listing motivation in the paper's introduction).
+func BarabasiAlbert(n, k int, rng *rand.Rand) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		return Complete(n)
+	}
+	b := NewBuilder(n)
+	// Seed clique on the first k+1 vertices.
+	for u := 0; u <= k && u < n; u++ {
+		for v := u + 1; v <= k && v < n; v++ {
+			mustAdd(b, u, v)
+		}
+	}
+	// targets holds one entry per half-edge for degree-proportional sampling.
+	targets := make([]int, 0, 2*n*k)
+	for u := 0; u <= k && u < n; u++ {
+		for v := u + 1; v <= k && v < n; v++ {
+			targets = append(targets, u, v)
+		}
+	}
+	for v := k + 1; v < n; v++ {
+		chosen := make(map[int]struct{}, k)
+		for len(chosen) < k {
+			t := targets[rng.Intn(len(targets))]
+			if t != v {
+				chosen[t] = struct{}{}
+			}
+		}
+		for t := range chosen {
+			mustAdd(b, v, t)
+			targets = append(targets, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// PlantedTriangles returns a sparse graph consisting of t vertex-disjoint
+// triangles plus isolated filler vertices, shuffled over the id space. It is
+// the canonical "needle" input for triangle finding: few triangles, low
+// degree, no heavy edges.
+func PlantedTriangles(n, t int, rng *rand.Rand) (*Graph, []Triangle) {
+	if 3*t > n {
+		t = n / 3
+	}
+	perm := rng.Perm(n)
+	b := NewBuilder(n)
+	planted := make([]Triangle, 0, t)
+	for i := 0; i < t; i++ {
+		a, c, d := perm[3*i], perm[3*i+1], perm[3*i+2]
+		mustAdd(b, a, c)
+		mustAdd(b, a, d)
+		mustAdd(b, c, d)
+		planted = append(planted, NewTriangle(a, c, d))
+	}
+	return b.Build(), planted
+}
+
+// PlantedHeavyEdge returns a graph with one designated edge {0,1} shared by
+// exactly w triangles (apex vertices 2..w+1), plus a sprinkle of G(n,p)
+// noise on the remaining vertices. It exercises the epsilon-heavy code paths
+// (Propositions 1 and 2).
+func PlantedHeavyEdge(n, w int, p float64, rng *rand.Rand) *Graph {
+	if w > n-2 {
+		w = n - 2
+	}
+	b := NewBuilder(n)
+	mustAdd(b, 0, 1)
+	for i := 0; i < w; i++ {
+		mustAdd(b, 0, 2+i)
+		mustAdd(b, 1, 2+i)
+	}
+	for u := 2 + w; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				mustAdd(b, u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NearRegular samples a graph where every vertex aims for degree d via a
+// random perfect-matching union construction (d rounds of random matchings).
+// Degrees deviate from d by at most d since matchings may collide.
+func NearRegular(n, d int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for r := 0; r < d; r++ {
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			u, v := perm[i], perm[i+1]
+			if !b.HasEdge(u, v) {
+				mustAdd(b, u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GeneratorByName builds one of the named graph families, for CLI use.
+// Supported names: gnp, complete, empty, bipartite, ring, chords, ba,
+// planted, heavy, regular.
+func GeneratorByName(name string, n int, p float64, k int, rng *rand.Rand) (*Graph, error) {
+	switch name {
+	case "gnp":
+		return Gnp(n, p, rng), nil
+	case "complete":
+		return Complete(n), nil
+	case "empty":
+		return Empty(n), nil
+	case "bipartite":
+		return RandomBipartite(n/2, n-n/2, p, rng), nil
+	case "ring":
+		return Ring(n), nil
+	case "chords":
+		return RingWithChords(n, k, rng), nil
+	case "ba":
+		return BarabasiAlbert(n, k, rng), nil
+	case "planted":
+		g, _ := PlantedTriangles(n, k, rng)
+		return g, nil
+	case "heavy":
+		return PlantedHeavyEdge(n, k, p, rng), nil
+	case "regular":
+		return NearRegular(n, k, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", name)
+	}
+}
+
+func mustAdd(b *Builder, u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		// Generators only add in-range, non-loop edges; reaching here is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+}

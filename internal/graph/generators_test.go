@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGnpEdgeCountConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, p := 100, 0.3
+	g := Gnp(n, p, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mean := p * float64(n*(n-1)/2)
+	dev := 4 * math.Sqrt(mean)
+	if float64(g.M()) < mean-dev || float64(g.M()) > mean+dev {
+		t.Fatalf("m = %d far from mean %.0f", g.M(), mean)
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if g := Gnp(20, 0, rng); g.M() != 0 {
+		t.Fatal("p=0 produced edges")
+	}
+	if g := Gnp(20, 1, rng); g.M() != 190 {
+		t.Fatalf("p=1 gave m=%d, want 190", g.M())
+	}
+}
+
+func TestCompleteAndEmpty(t *testing.T) {
+	g := Complete(7)
+	if g.M() != 21 || g.MaxDegree() != 6 {
+		t.Fatalf("K7 m=%d dmax=%d", g.M(), g.MaxDegree())
+	}
+	if CountTriangles(g) != 35 {
+		t.Fatalf("K7 triangles = %d, want C(7,3)=35", CountTriangles(g))
+	}
+	e := Empty(5)
+	if e.M() != 0 || e.MaxDegree() != 0 {
+		t.Fatal("Empty not empty")
+	}
+}
+
+func TestRandomBipartiteIsTriangleFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		g := RandomBipartite(15, 20, 0.5, rng)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if ct := CountTriangles(g); ct != 0 {
+			t.Fatalf("bipartite graph has %d triangles", ct)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(8)
+	if g.M() != 8 || g.MaxDegree() != 2 {
+		t.Fatalf("ring m=%d dmax=%d", g.M(), g.MaxDegree())
+	}
+	if CountTriangles(g) != 0 {
+		t.Fatal("C8 has triangles")
+	}
+	if CountTriangles(Ring(3)) != 1 {
+		t.Fatal("C3 should be one triangle")
+	}
+}
+
+func TestRingWithChords(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := RingWithChords(30, 15, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() < 30 {
+		t.Fatalf("chords lost ring edges: m=%d", g.M())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := BarabasiAlbert(60, 3, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) < 3 {
+			t.Fatalf("vertex %d has degree %d < k", v, g.Degree(v))
+		}
+	}
+	// Preferential attachment should produce a hub noticeably above k.
+	if g.MaxDegree() < 8 {
+		t.Fatalf("no hub emerged: dmax=%d", g.MaxDegree())
+	}
+	if got := BarabasiAlbert(5, 10, rng); got.M() != 10 {
+		t.Fatalf("k>=n should yield K5, got m=%d", got.M())
+	}
+}
+
+func TestPlantedTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, planted := PlantedTriangles(60, 7, rng)
+	if len(planted) != 7 {
+		t.Fatalf("planted %d, want 7", len(planted))
+	}
+	truth := NewTriangleSet(ListTriangles(g))
+	if len(truth) != 7 {
+		t.Fatalf("graph has %d triangles, want exactly the planted 7", len(truth))
+	}
+	for _, tr := range planted {
+		if !truth.Has(tr) {
+			t.Fatalf("planted %v missing", tr)
+		}
+	}
+	// Too many requested triangles are clamped.
+	_, p2 := PlantedTriangles(9, 100, rng)
+	if len(p2) != 3 {
+		t.Fatalf("clamp failed: %d", len(p2))
+	}
+}
+
+func TestPlantedHeavyEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := 12
+	g := PlantedHeavyEdge(50, w, 0, rng)
+	counts := EdgeTriangleCounts(g)
+	if got := counts[NewEdge(0, 1)]; got != w {
+		t.Fatalf("#({0,1}) = %d, want %d", got, w)
+	}
+	// Clamping when w exceeds n-2.
+	g2 := PlantedHeavyEdge(10, 100, 0, rng)
+	if got := EdgeTriangleCounts(g2)[NewEdge(0, 1)]; got != 8 {
+		t.Fatalf("clamped weight = %d, want 8", got)
+	}
+}
+
+func TestNearRegularDegreeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := 6
+	g := NearRegular(50, d, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > d {
+		t.Fatalf("dmax=%d exceeds %d (union of %d matchings)", g.MaxDegree(), d, d)
+	}
+	st := Degrees(g)
+	if st.Mean < float64(d)/2 {
+		t.Fatalf("mean degree %.1f suspiciously low", st.Mean)
+	}
+}
+
+func TestGeneratorByNameAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, name := range []string{"gnp", "complete", "empty", "bipartite", "ring", "chords", "ba", "planted", "heavy", "regular"} {
+		g, err := GeneratorByName(name, 24, 0.3, 3, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() != 24 {
+			t.Fatalf("%s: n=%d", name, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := GeneratorByName("nope", 10, 0.5, 1, rng); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}

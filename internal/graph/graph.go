@@ -1,0 +1,319 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// repository: compact adjacency storage, synthetic graph generators, an exact
+// centralized triangle oracle, per-edge triangle counts, epsilon-heaviness
+// classification, and the Delta(X) predicate from Izumi & Le Gall (PODC'17).
+//
+// All node identifiers are integers in [0, n), matching the paper's
+// assumption I = V = [0, n-1].
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is an unordered pair of distinct vertices, stored with U < V.
+type Edge struct {
+	U, V int
+}
+
+// NewEdge returns the canonical (sorted) form of the edge {a, b}.
+func NewEdge(a, b int) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Contains reports whether vertex x is an endpoint of e.
+func (e Edge) Contains(x int) bool { return e.U == x || e.V == x }
+
+// Other returns the endpoint of e that is not x. It returns -1 when x is not
+// an endpoint.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		return -1
+	}
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
+
+// Triangle is an unordered triple of distinct vertices, stored with
+// A < B < C.
+type Triangle struct {
+	A, B, C int
+}
+
+// NewTriangle returns the canonical (sorted) form of the triple {a, b, c}.
+func NewTriangle(a, b, c int) Triangle {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Triangle{A: a, B: b, C: c}
+}
+
+// Edges returns the three edges of the triangle in canonical order.
+func (t Triangle) Edges() [3]Edge {
+	return [3]Edge{
+		{U: t.A, V: t.B},
+		{U: t.A, V: t.C},
+		{U: t.B, V: t.C},
+	}
+}
+
+// Contains reports whether vertex x is one of the triangle's vertices.
+func (t Triangle) Contains(x int) bool { return t.A == x || t.B == x || t.C == x }
+
+// ContainsEdge reports whether e is one of the triangle's three edges
+// (the paper's "e in t" relation).
+func (t Triangle) ContainsEdge(e Edge) bool {
+	for _, te := range t.Edges() {
+		if te == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Valid reports whether the triple has three distinct, sorted vertices.
+func (t Triangle) Valid() bool { return t.A < t.B && t.B < t.C && t.A >= 0 }
+
+// String implements fmt.Stringer.
+func (t Triangle) String() string { return fmt.Sprintf("{%d,%d,%d}", t.A, t.B, t.C) }
+
+// Graph is an immutable simple undirected graph with vertices [0, n).
+// Adjacency lists are sorted ascending, enabling O(log d) membership tests
+// and linear-time sorted intersections.
+type Graph struct {
+	n   int
+	m   int
+	adj [][]int
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are rejected at Finalize time (AddEdge reports them too).
+type Builder struct {
+	n     int
+	edges map[Edge]struct{}
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[Edge]struct{})}
+}
+
+// AddEdge inserts the undirected edge {a, b}. It returns an error for
+// self-loops or out-of-range endpoints; duplicate insertions are idempotent.
+func (b *Builder) AddEdge(a, c int) error {
+	if a == c {
+		return fmt.Errorf("self-loop at vertex %d", a)
+	}
+	if a < 0 || a >= b.n || c < 0 || c >= b.n {
+		return fmt.Errorf("edge {%d,%d} out of range [0,%d)", a, c, b.n)
+	}
+	b.edges[NewEdge(a, c)] = struct{}{}
+	return nil
+}
+
+// HasEdge reports whether the edge has already been added.
+func (b *Builder) HasEdge(a, c int) bool {
+	_, ok := b.edges[NewEdge(a, c)]
+	return ok
+}
+
+// EdgeCount returns the number of distinct edges added so far.
+func (b *Builder) EdgeCount() int { return len(b.edges) }
+
+// Build finalizes the Builder into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	adj := make([][]int, b.n)
+	deg := make([]int, b.n)
+	for e := range b.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v := range adj {
+		adj[v] = make([]int, 0, deg[v])
+	}
+	for e := range b.edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for v := range adj {
+		sort.Ints(adj[v])
+	}
+	return &Graph{n: b.n, m: len(b.edges), adj: adj}
+}
+
+// FromEdges builds a graph on n vertices from an edge slice.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree d_max (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// shared with the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// HasEdge reports whether {a, b} is an edge, in O(log deg) time.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return false
+	}
+	// Search the shorter list.
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	lst := g.adj[a]
+	i := sort.SearchInts(lst, b)
+	return i < len(lst) && lst[i] == b
+}
+
+// Edges returns all edges in canonical order (sorted by (U, V)).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, Edge{U: u, V: v})
+			}
+		}
+	}
+	return out
+}
+
+// CommonNeighbors returns the sorted intersection N(a) cap N(b).
+func (g *Graph) CommonNeighbors(a, b int) []int {
+	return IntersectSorted(g.adj[a], g.adj[b])
+}
+
+// CommonNeighborCount returns |N(a) cap N(b)| without allocating.
+func (g *Graph) CommonNeighborCount(a, b int) int {
+	la, lb := g.adj[a], g.adj[b]
+	i, j, c := 0, 0, 0
+	for i < len(la) && j < len(lb) {
+		switch {
+		case la[i] < lb[j]:
+			i++
+		case la[i] > lb[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// Validate checks internal invariants (sorted adjacency, symmetry, no loops).
+// It is primarily a test helper for hand-constructed graphs.
+func (g *Graph) Validate() error {
+	count := 0
+	for v := 0; v < g.n; v++ {
+		lst := g.adj[v]
+		for i, u := range lst {
+			if u == v {
+				return fmt.Errorf("self-loop at %d", v)
+			}
+			if u < 0 || u >= g.n {
+				return fmt.Errorf("neighbor %d of %d out of range", u, v)
+			}
+			if i > 0 && lst[i-1] >= u {
+				return fmt.Errorf("adjacency of %d not strictly sorted", v)
+			}
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("asymmetric edge {%d,%d}", v, u)
+			}
+			count++
+		}
+	}
+	if count != 2*g.m {
+		return errors.New("edge count mismatch")
+	}
+	return nil
+}
+
+// Subgraph returns the induced subgraph on the given vertex set, together
+// with the mapping from new vertex index to original vertex id.
+func (g *Graph) Subgraph(vs []int) (*Graph, []int) {
+	keep := make(map[int]int, len(vs))
+	orig := make([]int, 0, len(vs))
+	for _, v := range vs {
+		if _, dup := keep[v]; dup {
+			continue
+		}
+		keep[v] = len(orig)
+		orig = append(orig, v)
+	}
+	b := NewBuilder(len(orig))
+	for _, v := range orig {
+		for _, u := range g.adj[v] {
+			if nu, ok := keep[u]; ok && keep[v] < nu {
+				// Safe: both endpoints kept and distinct.
+				_ = b.AddEdge(keep[v], nu)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// IntersectSorted returns the intersection of two ascending-sorted slices.
+func IntersectSorted(a, b []int) []int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]int, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

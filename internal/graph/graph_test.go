@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want Edge
+	}{
+		{1, 2, Edge{1, 2}},
+		{2, 1, Edge{1, 2}},
+		{0, 5, Edge{0, 5}},
+		{7, 7, Edge{7, 7}}, // degenerate, callers reject loops
+	}
+	for _, tc := range cases {
+		if got := NewEdge(tc.a, tc.b); got != tc.want {
+			t.Errorf("NewEdge(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEdgeContainsOther(t *testing.T) {
+	e := NewEdge(3, 9)
+	if !e.Contains(3) || !e.Contains(9) || e.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if e.Other(3) != 9 || e.Other(9) != 3 || e.Other(4) != -1 {
+		t.Fatal("Other wrong")
+	}
+	if e.String() != "{3,9}" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestNewTriangleCanonicalAllOrders(t *testing.T) {
+	want := Triangle{A: 1, B: 4, C: 9}
+	perms := [][3]int{{1, 4, 9}, {1, 9, 4}, {4, 1, 9}, {4, 9, 1}, {9, 1, 4}, {9, 4, 1}}
+	for _, p := range perms {
+		if got := NewTriangle(p[0], p[1], p[2]); got != want {
+			t.Errorf("NewTriangle(%v) = %v", p, got)
+		}
+	}
+}
+
+func TestTriangleEdgesAndMembership(t *testing.T) {
+	tr := NewTriangle(5, 2, 8)
+	edges := tr.Edges()
+	wantEdges := [3]Edge{{2, 5}, {2, 8}, {5, 8}}
+	if edges != wantEdges {
+		t.Fatalf("Edges() = %v, want %v", edges, wantEdges)
+	}
+	for _, v := range []int{2, 5, 8} {
+		if !tr.Contains(v) {
+			t.Errorf("Contains(%d) false", v)
+		}
+	}
+	if tr.Contains(3) {
+		t.Error("Contains(3) true")
+	}
+	for _, e := range wantEdges {
+		if !tr.ContainsEdge(e) {
+			t.Errorf("ContainsEdge(%v) false", e)
+		}
+	}
+	if tr.ContainsEdge(NewEdge(2, 3)) {
+		t.Error("ContainsEdge({2,3}) true")
+	}
+	if !tr.Valid() {
+		t.Error("Valid false")
+	}
+	if (Triangle{A: 2, B: 2, C: 3}).Valid() {
+		t.Error("degenerate triple Valid")
+	}
+	if tr.String() != "{2,5,8}" {
+		t.Errorf("String = %q", tr.String())
+	}
+}
+
+func TestBuilderRejectsBadEdges(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(-1, 2); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if err := b.AddEdge(0, 4); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := b.AddEdge(0, 3); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := b.AddEdge(3, 0); err != nil {
+		t.Fatalf("duplicate (reversed) edge rejected: %v", err)
+	}
+	if b.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1 (idempotent)", b.EdgeCount())
+	}
+	if !b.HasEdge(0, 3) || !b.HasEdge(3, 0) || b.HasEdge(1, 2) {
+		t.Error("Builder.HasEdge wrong")
+	}
+}
+
+func TestGraphBasicAccessors(t *testing.T) {
+	b := NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {3, 4}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 1 || g.MaxDegree() != 2 {
+		t.Fatal("degrees wrong")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 3) || g.HasEdge(0, 0) || g.HasEdge(-1, 2) || g.HasEdge(0, 9) {
+		t.Fatal("HasEdge wrong")
+	}
+	if got := g.Neighbors(0); !sort.IntsAreSorted(got) || len(got) != 2 {
+		t.Fatalf("Neighbors(0) = %v", got)
+	}
+	edges := g.Edges()
+	if len(edges) != 4 || edges[0] != (Edge{0, 1}) {
+		t.Fatalf("Edges = %v", edges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := Gnp(40, 0.3, rng)
+	for trial := 0; trial < 50; trial++ {
+		a, b := rng.Intn(40), rng.Intn(40)
+		got := g.CommonNeighbors(a, b)
+		var want []int
+		for v := 0; v < 40; v++ {
+			if g.HasEdge(a, v) && g.HasEdge(b, v) {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("CommonNeighbors(%d,%d) = %v, want %v", a, b, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("CommonNeighbors(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+		if g.CommonNeighborCount(a, b) != len(want) {
+			t.Fatalf("CommonNeighborCount mismatch")
+		}
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := Gnp(30, 0.4, rng)
+	vs := []int{3, 7, 11, 15, 15, 20} // duplicate kept once
+	sub, orig := g.Subgraph(vs)
+	if sub.N() != 5 || len(orig) != 5 {
+		t.Fatalf("sub.N=%d orig=%v", sub.N(), orig)
+	}
+	for i := 0; i < sub.N(); i++ {
+		for j := i + 1; j < sub.N(); j++ {
+			if sub.HasEdge(i, j) != g.HasEdge(orig[i], orig[j]) {
+				t.Fatalf("induced edge mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectSortedProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		sa := uniqueSorted(a)
+		sb := uniqueSorted(b)
+		got := IntersectSorted(sa, sb)
+		want := map[int]bool{}
+		for _, x := range sa {
+			for _, y := range sb {
+				if x == y {
+					want[x] = true
+				}
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, x := range got {
+			if !want[x] {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uniqueSorted(xs []uint8) []int {
+	set := map[int]bool{}
+	for _, x := range xs {
+		set[int(x)] = true
+	}
+	out := make([]int, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if _, err := FromEdges(3, []Edge{{0, 3}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}

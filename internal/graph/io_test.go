@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := 2 + int(nn)%40
+		g := Gnp(n, 0.4, rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nn 4\n0 1\n# another\n2 3\n\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header": "0 1\n",
+		"bad count":      "n x\n",
+		"negative count": "n -3\n",
+		"malformed edge": "n 4\n0 1 2\n",
+		"bad endpoint":   "n 4\n0 z\n",
+		"bad endpoint u": "n 4\nz 0\n",
+		"out of range":   "n 4\n0 9\n",
+		"self loop":      "n 4\n2 2\n",
+		"empty input":    "",
+		"comments only":  "# nothing\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error for %q", name, in)
+		}
+	}
+}
+
+func TestBFSDepthsAndDiameter(t *testing.T) {
+	// Path 0-1-2-3: diameter 3.
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BFSDepths(g, 0)
+	for v, want := range []int{0, 1, 2, 3} {
+		if d[v] != want {
+			t.Fatalf("depth[%d] = %d, want %d", v, d[v], want)
+		}
+	}
+	if Diameter(g) != 3 {
+		t.Fatalf("diameter = %d", Diameter(g))
+	}
+	if !Connected(g) {
+		t.Fatal("path not connected")
+	}
+	// Ring of 10: diameter 5.
+	if Diameter(Ring(10)) != 5 {
+		t.Fatalf("C10 diameter = %d", Diameter(Ring(10)))
+	}
+	// Disconnected: unreachable marked -1, Connected false, Diameter uses
+	// finite distances only.
+	g2, err := FromEdges(4, []Edge{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if BFSDepths(g2, 0)[3] != -1 {
+		t.Fatal("unreachable depth not -1")
+	}
+	if Connected(g2) {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if Diameter(g2) != 1 {
+		t.Fatalf("diameter = %d", Diameter(g2))
+	}
+	if !Connected(Empty(1)) || !Connected(Empty(0)) {
+		t.Fatal("trivial graphs must be connected")
+	}
+	if Diameter(Complete(6)) != 1 {
+		t.Fatal("K6 diameter must be 1")
+	}
+}
+
+func TestDegreesStats(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Degrees(g)
+	if st.Min != 1 || st.Max != 3 || st.Mean != 1.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if z := Degrees(Empty(0)); z.Max != 0 || z.Mean != 0 {
+		t.Fatalf("empty stats = %+v", z)
+	}
+}

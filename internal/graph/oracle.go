@@ -1,0 +1,353 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// ListTriangles enumerates T(G) exactly using the degree-ordered compact
+// forward algorithm, which runs in O(m^{3/2}) time. It is the centralized
+// ground-truth oracle against which every distributed algorithm is verified.
+func ListTriangles(g *Graph) []Triangle {
+	n := g.N()
+	// rank orders vertices by (degree desc, id asc); orienting edges from
+	// lower to higher rank bounds out-degrees by O(sqrt(m)).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int, n)
+	for r, v := range order {
+		rank[v] = r
+	}
+	// fwd[v] = neighbors of v with higher rank, sorted by rank.
+	fwd := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				fwd[v] = append(fwd[v], u)
+			}
+		}
+		sort.Slice(fwd[v], func(i, j int) bool { return rank[fwd[v][i]] < rank[fwd[v][j]] })
+	}
+	var out []Triangle
+	for _, u := range order {
+		for _, v := range fwd[u] {
+			// Triangles {u, v, w} with rank(u) < rank(v) < rank(w).
+			a, b := fwd[u], fwd[v]
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				ra, rb := rank[a[i]], rank[b[j]]
+				switch {
+				case ra < rb:
+					i++
+				case ra > rb:
+					j++
+				default:
+					out = append(out, NewTriangle(u, v, a[i]))
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountTriangles returns |T(G)| without materializing the list.
+func CountTriangles(g *Graph) int { return len(ListTriangles(g)) }
+
+// ListTrianglesBrute enumerates T(G) by checking all O(n^3) triples. It is a
+// test oracle for the oracle.
+func ListTrianglesBrute(g *Graph) []Triangle {
+	var out []Triangle
+	n := g.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(a, c) && g.HasEdge(b, c) {
+					out = append(out, Triangle{A: a, B: b, C: c})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TrianglesOf returns the triangles of T(G) containing vertex v (the local
+// listing requirement of Proposition 5).
+func TrianglesOf(g *Graph, v int) []Triangle {
+	var out []Triangle
+	nbrs := g.Neighbors(v)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				out = append(out, NewTriangle(v, nbrs[i], nbrs[j]))
+			}
+		}
+	}
+	return out
+}
+
+// EdgeTriangleCounts returns the paper's #(e) for every edge: the number of
+// triangles containing e. Edges in no triangle are present with count 0.
+func EdgeTriangleCounts(g *Graph) map[Edge]int {
+	counts := make(map[Edge]int, g.M())
+	for _, e := range g.Edges() {
+		counts[e] = 0
+	}
+	for _, t := range ListTriangles(g) {
+		for _, e := range t.Edges() {
+			counts[e]++
+		}
+	}
+	return counts
+}
+
+// HeavyThreshold returns n^eps, the triangle-multiplicity threshold defining
+// epsilon-heavy triangles.
+func HeavyThreshold(n int, eps float64) float64 {
+	return math.Pow(float64(n), eps)
+}
+
+// HeavyTriangles partitions T(G) into the epsilon-heavy set T_eps(G) (some
+// edge of the triangle lies in >= n^eps triangles) and its complement.
+func HeavyTriangles(g *Graph, eps float64) (heavy, light []Triangle) {
+	counts := EdgeTriangleCounts(g)
+	thr := HeavyThreshold(g.N(), eps)
+	for _, t := range ListTriangles(g) {
+		isHeavy := false
+		for _, e := range t.Edges() {
+			if float64(counts[e]) >= thr {
+				isHeavy = true
+				break
+			}
+		}
+		if isHeavy {
+			heavy = append(heavy, t)
+		} else {
+			light = append(light, t)
+		}
+	}
+	return heavy, light
+}
+
+// VertexSet is a membership bitmap over [0, n).
+type VertexSet []bool
+
+// NewVertexSet returns an empty set over [0, n).
+func NewVertexSet(n int) VertexSet { return make(VertexSet, n) }
+
+// Add inserts v.
+func (s VertexSet) Add(v int) { s[v] = true }
+
+// Has reports membership.
+func (s VertexSet) Has(v int) bool { return v >= 0 && v < len(s) && s[v] }
+
+// Members returns the sorted member list.
+func (s VertexSet) Members() []int {
+	var out []int
+	for v, in := range s {
+		if in {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Size returns |s|.
+func (s VertexSet) Size() int {
+	c := 0
+	for _, in := range s {
+		if in {
+			c++
+		}
+	}
+	return c
+}
+
+// InDeltaX reports whether the pair {j, l} lies in Delta(X) = E(V) minus the
+// union over x in X of E(N(x)): that is, whether j and l have no common
+// neighbor inside X. Pairs need not be edges of G. A vertex is never
+// "in Delta" with itself.
+func InDeltaX(g *Graph, x VertexSet, j, l int) bool {
+	if j == l {
+		return false
+	}
+	// Scan the shorter adjacency for common X-neighbors.
+	a, b := g.Neighbors(j), g.Neighbors(l)
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] < b[k]:
+			i++
+		case a[i] > b[k]:
+			k++
+		default:
+			if x.Has(a[i]) {
+				return false
+			}
+			i++
+			k++
+		}
+	}
+	return true
+}
+
+// TrianglesInDeltaX returns the triangles of G whose three edges all lie in
+// Delta(X) — exactly the triangles Algorithm A(X, r) must list
+// (Proposition 4).
+func TrianglesInDeltaX(g *Graph, x VertexSet) []Triangle {
+	var out []Triangle
+	for _, t := range ListTriangles(g) {
+		if InDeltaX(g, x, t.A, t.B) && InDeltaX(g, x, t.A, t.C) && InDeltaX(g, x, t.B, t.C) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TriangleSet is a set of triangles with canonical keys.
+type TriangleSet map[Triangle]struct{}
+
+// NewTriangleSet builds a set from a slice.
+func NewTriangleSet(ts []Triangle) TriangleSet {
+	s := make(TriangleSet, len(ts))
+	for _, t := range ts {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts t.
+func (s TriangleSet) Add(t Triangle) { s[t] = struct{}{} }
+
+// Has reports membership.
+func (s TriangleSet) Has(t Triangle) bool {
+	_, ok := s[t]
+	return ok
+}
+
+// Equal reports set equality.
+func (s TriangleSet) Equal(o TriangleSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for t := range s {
+		if !o.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAll reports whether every triangle of o is in s.
+func (s TriangleSet) ContainsAll(o TriangleSet) bool {
+	for t := range o {
+		if !s.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice returns the members sorted by (A, B, C).
+func (s TriangleSet) Slice() []Triangle {
+	out := make([]Triangle, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		if out[i].B != out[j].B {
+			return out[i].B < out[j].B
+		}
+		return out[i].C < out[j].C
+	})
+	return out
+}
+
+// TrianglesAmongEdges lists the triangles of the graph formed by the given
+// edge multiset (duplicates ignored). Vertex ids are arbitrary non-negative
+// integers; results use the original ids, sorted canonically.
+func TrianglesAmongEdges(edges []Edge) []Triangle {
+	if len(edges) == 0 {
+		return nil
+	}
+	ids := make(map[int]int)
+	var orig []int
+	idOf := func(v int) int {
+		if x, ok := ids[v]; ok {
+			return x
+		}
+		x := len(orig)
+		ids[v] = x
+		orig = append(orig, v)
+		return x
+	}
+	seen := make(map[Edge]struct{}, len(edges))
+	for _, e := range edges {
+		seen[NewEdge(idOf(e.U), idOf(e.V))] = struct{}{}
+	}
+	b := NewBuilder(len(orig))
+	for e := range seen {
+		// Compressed edges are in-range non-loops by construction.
+		_ = b.AddEdge(e.U, e.V)
+	}
+	g := b.Build()
+	ts := ListTriangles(g)
+	out := make([]Triangle, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, NewTriangle(orig[t.A], orig[t.B], orig[t.C]))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		if out[i].B != out[j].B {
+			return out[i].B < out[j].B
+		}
+		return out[i].C < out[j].C
+	})
+	return out
+}
+
+// PEdges returns P(R): the set of edges covered by some triangle in R
+// (Section 2). The information-theoretic lower bound of Theorem 3 is driven
+// by |P(T_w)|.
+func PEdges(ts []Triangle) map[Edge]struct{} {
+	out := make(map[Edge]struct{}, 3*len(ts))
+	for _, t := range ts {
+		for _, e := range t.Edges() {
+			out[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// RivinLowerBound returns sqrt(2)/3 * t^{2/3}, the minimum number of edges a
+// graph with t triangles can have (Lemma 4, due to Rivin).
+func RivinLowerBound(t int) float64 {
+	return math.Sqrt2 / 3 * math.Pow(float64(t), 2.0/3.0)
+}
+
+// CheckRivin reports whether a graph with m edges and t triangles satisfies
+// Lemma 4. Every real graph must.
+func CheckRivin(m, t int) bool {
+	return float64(m) >= RivinLowerBound(t)-1e-9
+}

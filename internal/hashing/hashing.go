@@ -1,0 +1,196 @@
+// Package hashing implements k-wise independent hash function families via
+// the Wegman–Carter polynomial construction over a prime field: a uniformly
+// random degree-(k-1) polynomial over Z_p is k-wise independent on Z_p, and
+// reducing the output modulo a bucket count R that divides into p with
+// negligible remainder bias gives the near-uniform bucketed family the
+// paper's Algorithm A2 samples from (Section 2, "Hash functions").
+//
+// A function from a k-wise family is encoded in k field elements, i.e.
+// O(k log n) bits when p = Theta(n) — matching the paper's O(k log |Y|)
+// encoding remark.
+package hashing
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Family describes a k-wise independent family of hash functions from the
+// domain [0, Domain) to buckets [0, Buckets).
+type Family struct {
+	K       int    // independence parameter (number of coefficients)
+	Domain  int    // domain size |X|
+	Buckets int    // range size |Y|
+	P       uint64 // field prime, P >= Domain and P >= Buckets
+}
+
+// NewFamily constructs a k-wise independent family. The field prime is the
+// smallest prime >= max(domain, buckets, 2), so that each coefficient fits
+// in one ceil(log2 domain)+O(1)-bit word.
+func NewFamily(k, domain, buckets int) (Family, error) {
+	if k < 1 {
+		return Family{}, errors.New("hashing: k must be >= 1")
+	}
+	if domain < 1 {
+		return Family{}, errors.New("hashing: domain must be >= 1")
+	}
+	if buckets < 1 {
+		return Family{}, errors.New("hashing: buckets must be >= 1")
+	}
+	lo := uint64(domain)
+	if uint64(buckets) > lo {
+		lo = uint64(buckets)
+	}
+	if lo < 2 {
+		lo = 2
+	}
+	return Family{K: k, Domain: domain, Buckets: buckets, P: NextPrime(lo)}, nil
+}
+
+// Func is one sampled hash function: h(x) = (sum_i coeff[i] * x^i mod P) mod
+// Buckets.
+type Func struct {
+	fam   Family
+	coeff []uint64 // len K, each in [0, P)
+}
+
+// Sample draws a uniformly random member of the family.
+func (f Family) Sample(rng *rand.Rand) Func {
+	coeff := make([]uint64, f.K)
+	for i := range coeff {
+		coeff[i] = uint64(rng.Int63n(int64(f.P)))
+	}
+	return Func{fam: f, coeff: coeff}
+}
+
+// Family returns the family h was drawn from.
+func (h Func) Family() Family { return h.fam }
+
+// Eval returns h(x) in [0, Buckets). x must be in [0, Domain).
+func (h Func) Eval(x int) int {
+	p := h.fam.P
+	var acc uint64
+	xm := uint64(x) % p
+	// Horner evaluation: coeff[K-1]*x^{K-1} + ... + coeff[0].
+	for i := len(h.coeff) - 1; i >= 0; i-- {
+		acc = addMod(mulMod(acc, xm, p), h.coeff[i], p)
+	}
+	return int(acc % uint64(h.fam.Buckets))
+}
+
+// Encode serializes the function as K words (its coefficients). The family
+// parameters are not part of the wire format: in the paper's protocols all
+// nodes derive them from n and epsilon.
+func (h Func) Encode() []uint64 {
+	out := make([]uint64, len(h.coeff))
+	copy(out, h.coeff)
+	return out
+}
+
+// Decode reconstructs a function of family f from its encoded coefficients.
+func (f Family) Decode(words []uint64) (Func, error) {
+	if len(words) != f.K {
+		return Func{}, fmt.Errorf("hashing: want %d coefficients, got %d", f.K, len(words))
+	}
+	coeff := make([]uint64, f.K)
+	for i, w := range words {
+		if w >= f.P {
+			return Func{}, fmt.Errorf("hashing: coefficient %d = %d out of field [0,%d)", i, w, f.P)
+		}
+		coeff[i] = w
+	}
+	return Func{fam: f, coeff: coeff}, nil
+}
+
+// EncodedWords returns the number of words a sampled function occupies on
+// the wire.
+func (f Family) EncodedWords() int { return f.K }
+
+func addMod(a, b, p uint64) uint64 {
+	s := a + b
+	if s >= p || s < a {
+		s -= p
+	}
+	return s
+}
+
+func mulMod(a, b, p uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%p, lo, p)
+	return rem
+}
+
+// IsPrime reports whether x is prime, using a deterministic Miller–Rabin
+// test valid for all 64-bit integers.
+func IsPrime(x uint64) bool {
+	if x < 2 {
+		return false
+	}
+	for _, sp := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if x == sp {
+			return true
+		}
+		if x%sp == 0 {
+			return false
+		}
+	}
+	d := x - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	// This witness set is deterministic for all x < 2^64.
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if !millerRabinWitness(x, d, r, a) {
+			return false
+		}
+	}
+	return true
+}
+
+func millerRabinWitness(x, d uint64, r int, a uint64) bool {
+	v := powMod(a%x, d, x)
+	if v == 1 || v == x-1 {
+		return true
+	}
+	for i := 0; i < r-1; i++ {
+		v = mulMod(v, v, x)
+		if v == x-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func powMod(base, exp, mod uint64) uint64 {
+	if mod == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base %= mod
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulMod(result, base, mod)
+		}
+		base = mulMod(base, base, mod)
+		exp >>= 1
+	}
+	return result
+}
+
+// NextPrime returns the smallest prime >= x (x <= 2 returns 2).
+func NextPrime(x uint64) uint64 {
+	if x <= 2 {
+		return 2
+	}
+	if x%2 == 0 {
+		x++
+	}
+	for !IsPrime(x) {
+		x += 2
+	}
+	return x
+}

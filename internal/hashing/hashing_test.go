@@ -1,0 +1,255 @@
+package hashing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 13: true, 97: true,
+		101: true, 65537: true, 2147483647: true, // 2^31 - 1
+	}
+	composites := []uint64{0, 1, 4, 6, 9, 15, 21, 25, 91, 561 /* Carmichael */, 1105, 6601, 2147483646}
+	for p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false", p)
+		}
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestIsPrimeAgainstTrialDivision(t *testing.T) {
+	trial := func(x uint64) bool {
+		if x < 2 {
+			return false
+		}
+		for d := uint64(2); d*d <= x; d++ {
+			if x%d == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for x := uint64(0); x < 3000; x++ {
+		if IsPrime(x) != trial(x) {
+			t.Fatalf("IsPrime(%d) disagrees with trial division", x)
+		}
+	}
+}
+
+func TestIsPrimeLarge(t *testing.T) {
+	// Large known primes and composites near 2^61/2^63.
+	if !IsPrime(2305843009213693951) { // 2^61 - 1, Mersenne
+		t.Error("2^61-1 should be prime")
+	}
+	if IsPrime(2305843009213693953) { // (2^61-1)+2 = divisible by 3? check: it is composite
+		t.Error("2^61+1 neighborhood composite misclassified")
+	}
+	if !IsPrime(18446744073709551557) { // largest prime < 2^64
+		t.Error("largest 64-bit prime misclassified")
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[uint64]uint64{
+		0: 2, 1: 2, 2: 2, 3: 3, 4: 5, 8: 11, 9: 11, 10: 11, 90: 97, 97: 97,
+	}
+	for in, want := range cases {
+		if got := NextPrime(in); got != want {
+			t.Errorf("NextPrime(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNewFamilyValidation(t *testing.T) {
+	if _, err := NewFamily(0, 10, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewFamily(3, 0, 2); err == nil {
+		t.Error("domain=0 accepted")
+	}
+	if _, err := NewFamily(3, 10, 0); err == nil {
+		t.Error("buckets=0 accepted")
+	}
+	f, err := NewFamily(3, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.P < 100 || !IsPrime(f.P) {
+		t.Fatalf("field prime %d invalid", f.P)
+	}
+	if f.EncodedWords() != 3 {
+		t.Fatalf("EncodedWords = %d", f.EncodedWords())
+	}
+}
+
+func TestEvalInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f, err := NewFamily(3, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		h := f.Sample(rng)
+		for x := 0; x < 64; x++ {
+			v := h.Eval(x)
+			if v < 0 || v >= 7 {
+				t.Fatalf("Eval(%d) = %d out of range", x, v)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f, err := NewFamily(3, 200, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := f.Sample(rng)
+		h2, err := f.Decode(h.Encode())
+		if err != nil {
+			return false
+		}
+		for x := 0; x < 200; x++ {
+			if h.Eval(x) != h2.Eval(x) {
+				return false
+			}
+		}
+		return h2.Family() == f
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	f, err := NewFamily(3, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Decode([]uint64{1, 2}); err == nil {
+		t.Error("short encoding accepted")
+	}
+	if _, err := f.Decode([]uint64{1, 2, f.P}); err == nil {
+		t.Error("out-of-field coefficient accepted")
+	}
+}
+
+// TestPairwiseUniformity: for a 3-wise (hence 2-wise) independent family,
+// Pr[h(x)=a, h(y)=b] must be close to 1/R^2 for distinct x, y.
+func TestPairwiseUniformity(t *testing.T) {
+	const R = 4
+	f, err := NewFamily(3, 1000, R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const samples = 40000
+	counts := [R][R]int{}
+	for s := 0; s < samples; s++ {
+		h := f.Sample(rng)
+		counts[h.Eval(17)][h.Eval(523)]++
+	}
+	want := float64(samples) / (R * R)
+	for a := 0; a < R; a++ {
+		for b := 0; b < R; b++ {
+			got := float64(counts[a][b])
+			if math.Abs(got-want) > 5*math.Sqrt(want) {
+				t.Fatalf("Pr[h(17)=%d,h(523)=%d]: count %0.f, want ~%.0f", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestTripleIndependence: Pr[h(x)=h(y)=h(z)=0] ~ 1/R^3 for distinct
+// x, y, z — the property Lemma 1 rests on.
+func TestTripleIndependence(t *testing.T) {
+	const R = 3
+	f, err := NewFamily(3, 500, R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const samples = 60000
+	hit := 0
+	for s := 0; s < samples; s++ {
+		h := f.Sample(rng)
+		if h.Eval(3) == 0 && h.Eval(77) == 0 && h.Eval(401) == 0 {
+			hit++
+		}
+	}
+	want := float64(samples) / (R * R * R)
+	if math.Abs(float64(hit)-want) > 6*math.Sqrt(want) {
+		t.Fatalf("triple-zero count %d, want ~%.0f", hit, want)
+	}
+}
+
+// TestLemmaOneEmpirical reproduces Lemma 1: for h from a 3-wise family
+// V -> [R], Pr[h(x)=h(x')=0 and |H(0)| <= 4(2+(|X|-2)/R)] >= 3/(4R^2).
+func TestLemmaOneEmpirical(t *testing.T) {
+	const (
+		domain  = 128
+		R       = 4
+		samples = 30000
+	)
+	f, err := NewFamily(3, domain, R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	bound := 4 * (2 + float64(domain-2)/float64(R))
+	hit := 0
+	for s := 0; s < samples; s++ {
+		h := f.Sample(rng)
+		if h.Eval(5) != 0 || h.Eval(99) != 0 {
+			continue
+		}
+		size := 0
+		for x := 0; x < domain; x++ {
+			if h.Eval(x) == 0 {
+				size++
+			}
+		}
+		if float64(size) <= bound {
+			hit++
+		}
+	}
+	rate := float64(hit) / samples
+	floor := 3.0 / (4 * R * R)
+	// Allow 3-sigma statistical slack below the proved floor.
+	slack := 3 * math.Sqrt(floor/samples)
+	if rate < floor-slack {
+		t.Fatalf("Lemma 1 rate %.5f below floor %.5f", rate, floor)
+	}
+}
+
+func TestMulModLargeOperands(t *testing.T) {
+	p := uint64(18446744073709551557) // largest 64-bit prime
+	a := p - 1
+	got := mulMod(a, a, p)
+	// (p-1)^2 mod p = 1.
+	if got != 1 {
+		t.Fatalf("(p-1)^2 mod p = %d, want 1", got)
+	}
+	if powMod(2, p-1, p) != 1 { // Fermat
+		t.Fatal("Fermat little theorem failed")
+	}
+	if powMod(5, 0, p) != 1 || powMod(5, 1, p) != 5 {
+		t.Fatal("powMod base cases")
+	}
+	if powMod(5, 10, 1) != 0 {
+		t.Fatal("mod 1 must be 0")
+	}
+	if addMod(p-1, p-1, p) != p-2 {
+		t.Fatal("addMod wraparound")
+	}
+}

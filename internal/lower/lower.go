@@ -1,0 +1,159 @@
+// Package lower implements the measurable side of the paper's
+// information-theoretic lower bounds (Theorem 3 and Proposition 5).
+//
+// Theorem 3's argument on G(n, 1/2): the node w(T) outputting the most
+// triangles reveals |P(T_w)| edge variables through its output; by Lemma 5
+// the mutual information I(E; T_w) is at least E|P(T_w)| bits, of which at
+// most H(rho_w) <= n-1 bits were known initially, so the transcript
+// received by w carries at least |P(T_w)| - (n-1) bits. Dividing by the
+// O(n log n) bits a node can receive per round yields the
+// Omega(n^{1/3}/log n) round bound. Every quantity in that chain except the
+// entropy itself is directly measurable on a run; this package measures
+// them and checks the chain's inequalities.
+package lower
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Report summarizes the Theorem-3 quantities of one listing run.
+type Report struct {
+	N int
+	// WNode is w(T): the node with the largest output set.
+	WNode int
+	// TW is |T_w|: the number of distinct triangles w output.
+	TW int
+	// PTW is |P(T_w)|: the number of edges revealed by w's output.
+	PTW int
+	// BitsReceivedW is the transcript length received by w during the run.
+	BitsReceivedW int64
+	// InfoFloorBits is the Theorem-3 floor |P(T_w)| - (n-1) on the
+	// transcript bits any correct algorithm must deliver to w.
+	InfoFloorBits int64
+	// RivinFloor is sqrt(2)/3 |T_w|^{2/3}, the Lemma-4 floor on |P(T_w)|.
+	RivinFloor float64
+	// RoundFloor is the round count implied for THIS run's w:
+	// InfoFloorBits / (n * ceil(log2 n)) — the per-round receive capacity.
+	RoundFloor float64
+	// TotalTriangles is |T(G)| (for context on the N/16n threshold).
+	TotalTriangles int
+}
+
+// Check verifies the two inequalities the theorem's chain predicts for any
+// correct run: |P(T_w)| >= RivinFloor and BitsReceivedW >= InfoFloorBits.
+func (r Report) Check() error {
+	if float64(r.PTW) < r.RivinFloor-1e-9 {
+		return fmt.Errorf("lower: Rivin violated: |P(T_w)|=%d < %.2f", r.PTW, r.RivinFloor)
+	}
+	if r.BitsReceivedW < r.InfoFloorBits {
+		return fmt.Errorf("lower: information floor violated: received %d bits < floor %d",
+			r.BitsReceivedW, r.InfoFloorBits)
+	}
+	return nil
+}
+
+// Analyze computes the Theorem-3 report for a finished listing run.
+func Analyze(g *graph.Graph, outputs [][]graph.Triangle, m sim.Metrics) Report {
+	n := g.N()
+	w, best := 0, -1
+	for v, ts := range outputs {
+		distinct := len(graph.NewTriangleSet(ts))
+		if distinct > best {
+			w, best = v, distinct
+		}
+	}
+	tw := graph.NewTriangleSet(outputs[w]).Slice()
+	ptw := len(graph.PEdges(tw))
+	floor := int64(ptw) - int64(n-1)
+	if floor < 0 {
+		floor = 0
+	}
+	rep := Report{
+		N:              n,
+		WNode:          w,
+		TW:             len(tw),
+		PTW:            ptw,
+		BitsReceivedW:  m.BitsReceived(w),
+		InfoFloorBits:  floor,
+		RivinFloor:     graph.RivinLowerBound(len(tw)),
+		TotalTriangles: graph.CountTriangles(g),
+	}
+	perRound := float64(n) * float64(sim.WordBits(n))
+	if perRound > 0 {
+		rep.RoundFloor = float64(rep.InfoFloorBits) / perRound
+	}
+	return rep
+}
+
+// LocalReport summarizes the Proposition-5 quantities for one node of a
+// local-listing run.
+type LocalReport struct {
+	Node          int
+	TI            int   // triangles containing the node that it output
+	PTI           int   // |P(T_i)|
+	BitsReceived  int64 // transcript length
+	InfoFloorBits int64 // |P(T_i)| - (n-1)
+}
+
+// AnalyzeLocal computes per-node Proposition-5 reports for a local listing
+// run (each node must output all triangles containing itself).
+func AnalyzeLocal(g *graph.Graph, outputs [][]graph.Triangle, m sim.Metrics) []LocalReport {
+	n := g.N()
+	reps := make([]LocalReport, n)
+	for v := 0; v < n; v++ {
+		ts := graph.NewTriangleSet(outputs[v]).Slice()
+		pti := len(graph.PEdges(ts))
+		floor := int64(pti) - int64(n-1)
+		if floor < 0 {
+			floor = 0
+		}
+		reps[v] = LocalReport{
+			Node:          v,
+			TI:            len(ts),
+			PTI:           pti,
+			BitsReceived:  m.BitsReceived(v),
+			InfoFloorBits: floor,
+		}
+	}
+	return reps
+}
+
+// CheckLocal verifies BitsReceived >= InfoFloorBits for every node.
+func CheckLocal(reps []LocalReport) error {
+	for _, r := range reps {
+		if r.BitsReceived < r.InfoFloorBits {
+			return fmt.Errorf("lower: node %d received %d bits < floor %d",
+				r.Node, r.BitsReceived, r.InfoFloorBits)
+		}
+	}
+	return nil
+}
+
+// PredictedListingRoundLB returns the Theorem-3 asymptotic shape
+// n^{1/3}/log2(n) (constant factors dropped), for plotting against
+// measured round counts.
+func PredictedListingRoundLB(n int) float64 {
+	if n < 4 {
+		return 1
+	}
+	return math.Cbrt(float64(n)) / math.Log2(float64(n))
+}
+
+// PredictedLocalRoundLB returns the Proposition-5 asymptotic shape
+// n/log2(n).
+func PredictedLocalRoundLB(n int) float64 {
+	if n < 4 {
+		return 1
+	}
+	return float64(n) / math.Log2(float64(n))
+}
+
+// ExpectedTrianglesGnpHalf returns N/8 = C(n,3)/8, the expected triangle
+// count of G(n, 1/2) used in the proof of Theorem 3.
+func ExpectedTrianglesGnpHalf(n int) float64 {
+	return float64(n) * float64(n-1) * float64(n-2) / 6 / 8
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if err := b.AddEdge(0, v); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestBroadcastDeliversToAllNeighbors: one emission reaches every neighbor
+// in the same round with identical content.
+func TestBroadcastDeliversToAllNeighbors(t *testing.T) {
+	g := star(5)
+	recv := map[int][]Word{}
+	nodes := make([]Node, 5)
+	for v := 0; v < 5; v++ {
+		v := v
+		nodes[v] = &recorder{roundFn: func(ctx *Context, round int, inbox []Delivery) {
+			for _, d := range inbox {
+				recv[v] = append(recv[v], d.Words...)
+			}
+			if v == 0 && round == 0 {
+				ctx.Broadcast(7, 8)
+			}
+			ctx.SetDone()
+		}}
+	}
+	eng, err := NewEngine(g, nodes, Config{Mode: ModeBroadcast, BandwidthWords: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if len(recv[v]) != 2 || recv[v][0] != 7 || recv[v][1] != 8 {
+			t.Fatalf("leaf %d received %v", v, recv[v])
+		}
+	}
+	m := eng.Metrics()
+	// 4 neighbor deliveries of 2 words each.
+	if m.WordsDelivered != 8 || m.MessagesDelivered != 4 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	// The center SENT one 2-word message, not 4 copies.
+	if m.PerNodeWordsSent[0] != 2 {
+		t.Fatalf("center sent %d words, want 2", m.PerNodeWordsSent[0])
+	}
+}
+
+// TestBroadcastSharedChannelSerializes: two back-to-back emissions of B
+// words each need two rounds — the single shared channel is the point of
+// the model.
+func TestBroadcastSharedChannelSerializes(t *testing.T) {
+	g := star(3)
+	var arrivals []int
+	nodes := make([]Node, 3)
+	for v := 0; v < 3; v++ {
+		v := v
+		nodes[v] = &recorder{roundFn: func(ctx *Context, round int, inbox []Delivery) {
+			if v == 1 {
+				for range inbox {
+					arrivals = append(arrivals, round)
+				}
+			}
+			if v == 0 && round == 0 {
+				ctx.Broadcast(1, 2, 3, 4) // 4 words at B=2: rounds 1 and 2
+			}
+			ctx.SetDone()
+		}}
+	}
+	eng, err := NewEngine(g, nodes, Config{Mode: ModeBroadcast, BandwidthWords: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 || arrivals[0] != 1 || arrivals[1] != 2 {
+		t.Fatalf("arrivals = %v, want [1 2]", arrivals)
+	}
+}
+
+func TestBroadcastForbidsUnicast(t *testing.T) {
+	g := star(3)
+	nodes := make([]Node, 3)
+	panicked := false
+	for v := 0; v < 3; v++ {
+		v := v
+		nodes[v] = &recorder{roundFn: func(ctx *Context, round int, inbox []Delivery) {
+			if v == 0 && round == 0 {
+				defer func() {
+					if recover() != nil {
+						panicked = true
+					}
+				}()
+				ctx.Send(0, 1)
+			}
+			ctx.SetDone()
+		}}
+	}
+	eng, err := NewEngine(g, nodes, Config{Mode: ModeBroadcast, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	if !panicked {
+		t.Fatal("unicast Send did not panic in broadcast mode")
+	}
+}

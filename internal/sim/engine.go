@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Mode selects the communication topology.
+type Mode int
+
+const (
+	// ModeCONGEST uses the input graph itself as the communication topology
+	// (the standard CONGEST model).
+	ModeCONGEST Mode = iota + 1
+	// ModeClique uses the complete graph as the communication topology while
+	// the input graph is only node-local edge knowledge (the CONGEST clique).
+	ModeClique
+	// ModeBroadcast is the broadcast CONGEST model (the model of the
+	// Drucker et al. lower bound in Table 1): per round each node emits ONE
+	// common B-word message that all its neighbors receive. Unicast sends
+	// panic; use Context.Broadcast only.
+	ModeBroadcast
+)
+
+// Config controls an engine run.
+type Config struct {
+	// Mode selects CONGEST (default) or CONGEST clique.
+	Mode Mode
+	// BandwidthWords is B, the words per directed edge per round (default 2).
+	BandwidthWords int
+	// Seed derives every node's private random stream.
+	Seed int64
+	// Parallel runs node state machines on all CPUs. Results are identical
+	// to the sequential engine for the same seed.
+	Parallel bool
+	// MaxRounds aborts RunUntilQuiescent (default 1 << 22).
+	MaxRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = ModeCONGEST
+	}
+	if c.BandwidthWords <= 0 {
+		c.BandwidthWords = 2
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 1 << 22
+	}
+	return c
+}
+
+// ErrMaxRounds is returned when a run exceeds Config.MaxRounds without
+// quiescing.
+var ErrMaxRounds = errors.New("sim: exceeded MaxRounds without quiescing")
+
+// wordQueue is a FIFO of words with an amortized O(1) pop-front.
+type wordQueue struct {
+	buf  []Word
+	head int
+}
+
+func (q *wordQueue) push(ws []Word) { q.buf = append(q.buf, ws...) }
+
+func (q *wordQueue) popUpTo(k int) []Word {
+	avail := len(q.buf) - q.head
+	if avail == 0 {
+		return nil
+	}
+	if k > avail {
+		k = avail
+	}
+	out := q.buf[q.head : q.head+k]
+	q.head += k
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 4096 && q.head*2 > len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return out
+}
+
+func (q *wordQueue) empty() bool { return q.head == len(q.buf) }
+
+// Engine simulates one algorithm run over one input graph.
+type Engine struct {
+	cfg   Config
+	input *graph.Graph
+	nodes []Node
+	ctxs  []*Context
+
+	// comm[v] is the communication adjacency of v (sorted node ids).
+	comm [][]int
+	// queues[v][i] is the channel FROM v TO comm[v][i].
+	queues [][]wordQueue
+	// inRefs[v] lists, for each communication in-edge of v, the sender u and
+	// the index of v in comm[u] — i.e. where to find the queue feeding v.
+	inRefs [][]inRef
+
+	activeList []dirEdge
+	activeSet  map[dirEdge]struct{}
+
+	// Broadcast-mode state: one shared outgoing queue per node.
+	bcastQ      []wordQueue
+	bcastActive []int
+	bcastInSet  []bool
+
+	inboxes [][]Delivery
+	metrics Metrics
+	round   int
+	started bool
+}
+
+type dirEdge struct{ from, idx int }
+
+type inRef struct{ from, idx int }
+
+// NewEngine builds an engine for the given input graph and per-node
+// algorithm instances. len(nodes) must equal input.N().
+func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	n := input.N()
+	if len(nodes) != n {
+		return nil, fmt.Errorf("sim: %d nodes for %d-vertex graph", len(nodes), n)
+	}
+	e := &Engine{
+		cfg:       cfg,
+		input:     input,
+		nodes:     nodes,
+		activeSet: make(map[dirEdge]struct{}),
+	}
+	if cfg.Mode == ModeBroadcast {
+		e.bcastQ = make([]wordQueue, n)
+		e.bcastInSet = make([]bool, n)
+	}
+	e.comm = make([][]int, n)
+	for v := 0; v < n; v++ {
+		switch cfg.Mode {
+		case ModeClique:
+			lst := make([]int, 0, n-1)
+			for u := 0; u < n; u++ {
+				if u != v {
+					lst = append(lst, u)
+				}
+			}
+			e.comm[v] = lst
+		default:
+			e.comm[v] = input.Neighbors(v)
+		}
+	}
+	e.queues = make([][]wordQueue, n)
+	e.inRefs = make([][]inRef, n)
+	for v := 0; v < n; v++ {
+		e.queues[v] = make([]wordQueue, len(e.comm[v]))
+	}
+	for u := 0; u < n; u++ {
+		for i, v := range e.comm[u] {
+			e.inRefs[v] = append(e.inRefs[v], inRef{from: u, idx: i})
+		}
+	}
+	e.ctxs = make([]*Context, n)
+	for v := 0; v < n; v++ {
+		e.ctxs[v] = &Context{
+			id:        v,
+			n:         n,
+			banw:      cfg.BandwidthWords,
+			rng:       rand.New(rand.NewSource(nodeSeed(cfg.Seed, v))),
+			comm:      e.comm[v],
+			input:     input.Neighbors(v),
+			bcastOnly: cfg.Mode == ModeBroadcast,
+		}
+	}
+	e.inboxes = make([][]Delivery, n)
+	e.metrics = Metrics{
+		WordBits:         WordBits(n),
+		PerNodeWordsRecv: make([]int64, n),
+		PerNodeWordsSent: make([]int64, n),
+	}
+	return e, nil
+}
+
+// nodeSeed mixes the engine seed with the node id (splitmix64 finalizer) so
+// per-node streams are independent and engine-order independent.
+func nodeSeed(seed int64, id int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+func (e *Engine) initNodes() {
+	if e.started {
+		return
+	}
+	e.started = true
+	for v, nd := range e.nodes {
+		nd.Init(e.ctxs[v])
+		e.flushPending(v)
+	}
+}
+
+// flushPending moves ctx.pending into channel queues, updating activity.
+func (e *Engine) flushPending(v int) {
+	ctx := e.ctxs[v]
+	for _, ps := range ctx.pending {
+		if ps.nbrIdx == bcastIdx {
+			e.bcastQ[v].push(ps.words)
+			ctx.wordsSent += int64(len(ps.words))
+			if !e.bcastInSet[v] {
+				e.bcastInSet[v] = true
+				e.bcastActive = append(e.bcastActive, v)
+			}
+			continue
+		}
+		q := &e.queues[v][ps.nbrIdx]
+		q.push(ps.words)
+		ctx.wordsSent += int64(len(ps.words))
+		de := dirEdge{from: v, idx: ps.nbrIdx}
+		if _, ok := e.activeSet[de]; !ok {
+			e.activeSet[de] = struct{}{}
+			e.activeList = append(e.activeList, de)
+		}
+	}
+	ctx.pending = ctx.pending[:0]
+}
+
+// step executes one round: deliver up to B words on each active channel,
+// then run every scheduled node, then flush sends.
+func (e *Engine) step() {
+	n := len(e.nodes)
+	b := e.cfg.BandwidthWords
+	// Phase 1: deliveries.
+	moved := false
+	// Broadcast-mode: each active node emits one B-word message heard by
+	// every neighbor.
+	stillBcast := e.bcastActive[:0]
+	for _, u := range e.bcastActive {
+		q := &e.bcastQ[u]
+		ws := q.popUpTo(b)
+		if len(ws) > 0 {
+			for _, to := range e.comm[u] {
+				e.inboxes[to] = append(e.inboxes[to], Delivery{From: u, Words: ws})
+				e.metrics.MessagesDelivered++
+				e.metrics.WordsDelivered += int64(len(ws))
+				e.metrics.PerNodeWordsRecv[to] += int64(len(ws))
+			}
+			moved = true
+		}
+		if !q.empty() {
+			stillBcast = append(stillBcast, u)
+		} else {
+			e.bcastInSet[u] = false
+		}
+	}
+	e.bcastActive = stillBcast
+	stillActive := e.activeList[:0]
+	for _, de := range e.activeList {
+		q := &e.queues[de.from][de.idx]
+		ws := q.popUpTo(b)
+		if len(ws) > 0 {
+			to := e.comm[de.from][de.idx]
+			e.inboxes[to] = append(e.inboxes[to], Delivery{From: de.from, Words: ws})
+			e.metrics.MessagesDelivered++
+			e.metrics.WordsDelivered += int64(len(ws))
+			e.metrics.PerNodeWordsRecv[to] += int64(len(ws))
+			moved = true
+		}
+		if !q.empty() {
+			stillActive = append(stillActive, de)
+		} else {
+			delete(e.activeSet, de)
+		}
+	}
+	e.activeList = stillActive
+	if moved {
+		e.metrics.ActiveRounds++
+	}
+	// Phase 2: run scheduled nodes.
+	scheduled := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		ctx := e.ctxs[v]
+		if ctx.done && len(e.inboxes[v]) == 0 {
+			continue
+		}
+		if len(e.inboxes[v]) > 0 || ctx.wake <= e.round {
+			scheduled = append(scheduled, v)
+		}
+	}
+	run := func(v int) {
+		e.nodes[v].Round(e.ctxs[v], e.round, e.inboxes[v])
+	}
+	if e.cfg.Parallel && len(scheduled) > 1 {
+		parallelFor(scheduled, run)
+	} else {
+		for _, v := range scheduled {
+			run(v)
+		}
+	}
+	// Phase 3: merge (deterministic node order).
+	for _, v := range scheduled {
+		e.flushPending(v)
+		e.inboxes[v] = e.inboxes[v][:0]
+	}
+	for v := 0; v < n; v++ {
+		e.metrics.PerNodeWordsSent[v] = e.ctxs[v].wordsSent
+	}
+	e.round++
+	e.metrics.Rounds = e.round
+}
+
+func parallelFor(items []int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			for _, v := range part {
+				fn(v)
+			}
+		}(items[lo:hi])
+	}
+	wg.Wait()
+}
+
+// Run executes exactly `rounds` rounds (after Init on first call).
+func (e *Engine) Run(rounds int) {
+	e.initNodes()
+	for i := 0; i < rounds; i++ {
+		e.step()
+	}
+}
+
+// RunUntilQuiescent executes rounds until every node is done and all
+// channels are empty, or until Config.MaxRounds (returning ErrMaxRounds).
+func (e *Engine) RunUntilQuiescent() error {
+	e.initNodes()
+	for {
+		if e.quiescent() {
+			return nil
+		}
+		if e.round >= e.cfg.MaxRounds {
+			return ErrMaxRounds
+		}
+		e.step()
+	}
+}
+
+func (e *Engine) quiescent() bool {
+	if len(e.activeList) > 0 || len(e.bcastActive) > 0 {
+		return false
+	}
+	for _, ctx := range e.ctxs {
+		if !ctx.done {
+			return false
+		}
+	}
+	return true
+}
+
+// PendingWords reports the words still queued on all channels (0 once all
+// phases drained — asserted by tests at phase boundaries).
+func (e *Engine) PendingWords() int {
+	total := 0
+	for _, de := range e.activeList {
+		q := &e.queues[de.from][de.idx]
+		total += len(q.buf) - q.head
+	}
+	for _, u := range e.bcastActive {
+		q := &e.bcastQ[u]
+		total += len(q.buf) - q.head
+	}
+	return total
+}
+
+// Round returns the number of rounds executed so far.
+func (e *Engine) Round() int { return e.round }
+
+// Metrics returns a copy of the run metrics.
+func (e *Engine) Metrics() Metrics {
+	m := e.metrics
+	m.PerNodeWordsRecv = append([]int64(nil), e.metrics.PerNodeWordsRecv...)
+	m.PerNodeWordsSent = append([]int64(nil), e.metrics.PerNodeWordsSent...)
+	return m
+}
+
+// Outputs returns each node's output set T_i. The outer slice is indexed by
+// node id; inner slices are in output order.
+func (e *Engine) Outputs() [][]graph.Triangle {
+	out := make([][]graph.Triangle, len(e.ctxs))
+	for v, ctx := range e.ctxs {
+		out[v] = append([]graph.Triangle(nil), ctx.outputs...)
+	}
+	return out
+}
+
+// OutputUnion returns the deduplicated union of all nodes' outputs (the
+// paper's combined output T).
+func (e *Engine) OutputUnion() graph.TriangleSet {
+	s := make(graph.TriangleSet)
+	for _, ctx := range e.ctxs {
+		for _, t := range ctx.outputs {
+			s.Add(t)
+		}
+	}
+	return s
+}

@@ -1,0 +1,263 @@
+// Package sim implements a round-synchronous CONGEST network simulator.
+//
+// The model follows Izumi & Le Gall (PODC'17), Section 2: the communication
+// topology is a graph; execution proceeds in synchronous rounds; in each
+// round every node may transfer one O(log n)-bit message per incident edge.
+// We measure messages in words of ceil(log2 n) bits and allow B words per
+// directed edge per round (B is the bandwidth constant hidden in the
+// paper's O(log n); the default is 2, enough for one edge identifier).
+//
+// Algorithms are written as per-node state machines implementing Node.
+// Logical payloads larger than B words are queued by the engine and trickle
+// across rounds, so the engine's round count is exactly the model's round
+// complexity. The engine never lets a node observe anything beyond its own
+// incident input edges, the value of n, its private randomness, and the
+// words delivered to it — the CONGEST knowledge discipline.
+//
+// Two engines with identical semantics are provided: a deterministic
+// sequential engine and a parallel engine that runs one worker per CPU over
+// the nodes of each round (goroutines synchronized by a barrier, matching
+// the natural goroutine-per-node reading of the model). For the same seed
+// both produce identical outputs and metrics.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Word is the unit of communication: one word carries ceil(log2 n) bits
+// (enough for a node identifier).
+type Word = uint64
+
+// Delivery is the batch of words received from one neighbor in one round.
+type Delivery struct {
+	From  int // sender node id
+	Words []Word
+}
+
+// Node is a per-vertex algorithm state machine.
+//
+// Init is called once before round 0. Round is called at most once per
+// round with the words delivered this round; a node that called SleepUntil
+// is skipped while it sleeps unless a delivery arrives for it.
+type Node interface {
+	Init(ctx *Context)
+	Round(ctx *Context, round int, inbox []Delivery)
+}
+
+// Context is a node's handle on the simulated world. It deliberately
+// exposes only CONGEST-legal knowledge.
+type Context struct {
+	id        int
+	n         int
+	banw      int
+	rng       *rand.Rand
+	comm      []int // communication neighbors (sorted)
+	input     []int // input-graph neighbors (sorted); == comm in CONGEST mode
+	pending   []pendingSend
+	outputs   []graph.Triangle
+	wake      int
+	offset    int
+	done      bool
+	bcastOnly bool
+
+	wordsSent int64
+	wordsRecv int64
+}
+
+type pendingSend struct {
+	nbrIdx int
+	words  []Word
+}
+
+// ID returns this node's identifier in [0, n).
+func (c *Context) ID() int { return c.id }
+
+// N returns the number of nodes in the network (known to all nodes).
+func (c *Context) N() int { return c.n }
+
+// Bandwidth returns B, the words deliverable per directed edge per round.
+func (c *Context) Bandwidth() int { return c.banw }
+
+// RNG returns this node's private random stream.
+func (c *Context) RNG() *rand.Rand { return c.rng }
+
+// CommNeighbors returns the sorted communication neighbors. In the CONGEST
+// model these are the input-graph neighbors; in the CONGEST clique they are
+// all other nodes. The slice is shared and must not be modified.
+func (c *Context) CommNeighbors() []int { return c.comm }
+
+// CommDegree returns len(CommNeighbors()).
+func (c *Context) CommDegree() int { return len(c.comm) }
+
+// InputNeighbors returns the sorted neighbors of this node in the input
+// graph — the only part of the input a node initially knows. The slice is
+// shared and must not be modified.
+func (c *Context) InputNeighbors() []int { return c.input }
+
+// HasInputEdge reports whether {this node, u} is an input-graph edge.
+func (c *Context) HasInputEdge(u int) bool {
+	return containsSorted(c.input, u)
+}
+
+// NbrIndexOf maps a communication neighbor's node id to its index in
+// CommNeighbors. It returns -1 when u is not a neighbor.
+func (c *Context) NbrIndexOf(u int) int {
+	lo, hi := 0, len(c.comm)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.comm[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c.comm) && c.comm[lo] == u {
+		return lo
+	}
+	return -1
+}
+
+// bcastIdx marks a pending send as a broadcast-mode emission.
+const bcastIdx = -1
+
+// Send queues words on the directed channel to the nbrIdx-th communication
+// neighbor. The engine delivers at most Bandwidth() words per channel per
+// round, in FIFO order. In the broadcast CONGEST model unicast is illegal
+// and Send panics.
+func (c *Context) Send(nbrIdx int, words ...Word) {
+	if len(words) == 0 {
+		return
+	}
+	if c.bcastOnly {
+		panic(fmt.Sprintf("sim: node %d unicasts in the broadcast CONGEST model", c.id))
+	}
+	if nbrIdx < 0 || nbrIdx >= len(c.comm) {
+		panic(fmt.Sprintf("sim: node %d sends to invalid neighbor index %d", c.id, nbrIdx))
+	}
+	cp := make([]Word, len(words))
+	copy(cp, words)
+	c.pending = append(c.pending, pendingSend{nbrIdx: nbrIdx, words: cp})
+}
+
+// SendTo queues words to the communication neighbor with node id u.
+func (c *Context) SendTo(u int, words ...Word) {
+	idx := c.NbrIndexOf(u)
+	if idx < 0 {
+		panic(fmt.Sprintf("sim: node %d sends to non-neighbor %d", c.id, u))
+	}
+	c.Send(idx, words...)
+}
+
+// Broadcast queues the same words to every communication neighbor. In the
+// broadcast CONGEST model this is the only legal primitive and consumes one
+// shared B-word channel per round; in the unicast models it expands to one
+// copy per neighbor (each on its own channel).
+func (c *Context) Broadcast(words ...Word) {
+	if len(words) == 0 {
+		return
+	}
+	if c.bcastOnly {
+		cp := make([]Word, len(words))
+		copy(cp, words)
+		c.pending = append(c.pending, pendingSend{nbrIdx: bcastIdx, words: cp})
+		return
+	}
+	for i := range c.comm {
+		c.Send(i, words...)
+	}
+}
+
+// Output records a triangle in this node's output set T_i.
+func (c *Context) Output(t graph.Triangle) {
+	c.outputs = append(c.outputs, t)
+}
+
+// SleepUntil asks the engine not to call Round again before the given round
+// unless a delivery arrives. It is an optimization only; semantics are
+// unchanged for nodes that never sleep. The round is interpreted relative to
+// the current round offset (see SetRoundOffset).
+func (c *Context) SleepUntil(round int) { c.wake = round + c.offset }
+
+// WakeAt returns the absolute round before which the node asked to sleep.
+func (c *Context) WakeAt() int { return c.wake }
+
+// SetRoundOffset rebases SleepUntil for composed (sequenced) algorithms: a
+// wrapper running a sub-algorithm at global round `off` sets the offset so
+// the sub-algorithm can keep reasoning in local rounds. Wrappers only.
+func (c *Context) SetRoundOffset(off int) { c.offset = off }
+
+// SetDone marks this node finished; the engine quiesces once all nodes are
+// done and all queues are empty.
+func (c *Context) SetDone() { c.done = true }
+
+// ClearDone reverses SetDone. Composition wrappers use it when a finished
+// sub-algorithm is followed by another segment.
+func (c *Context) ClearDone() { c.done = false }
+
+func containsSorted(lst []int, x int) bool {
+	lo, hi := 0, len(lst)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if lst[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(lst) && lst[lo] == x
+}
+
+// WordBits returns the number of bits per word for an n-node network:
+// ceil(log2 n), with a minimum of 1.
+func WordBits(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// RoundsFor returns the number of rounds needed to push `words` words over
+// one channel at bandwidth b: ceil(words/b), at least 0.
+func RoundsFor(words, b int) int {
+	if words <= 0 {
+		return 0
+	}
+	return (words + b - 1) / b
+}
+
+// Metrics aggregates the communication cost of a run.
+type Metrics struct {
+	Rounds            int     // rounds executed
+	ActiveRounds      int     // rounds in which at least one word moved
+	MessagesDelivered int64   // channel-round deliveries
+	WordsDelivered    int64   // total words moved
+	WordBits          int     // bits per word (ceil log2 n)
+	PerNodeWordsRecv  []int64 // indexed by node id
+	PerNodeWordsSent  []int64
+}
+
+// TotalBits returns the total bits moved during the run.
+func (m Metrics) TotalBits() int64 { return m.WordsDelivered * int64(m.WordBits) }
+
+// BitsReceived returns the bits received by node v over the whole run — the
+// transcript length |pi_v| that Theorem 3 reasons about.
+func (m Metrics) BitsReceived(v int) int64 {
+	return m.PerNodeWordsRecv[v] * int64(m.WordBits)
+}
+
+// MaxBitsReceived returns the largest per-node received-bit count and the
+// node achieving it.
+func (m Metrics) MaxBitsReceived() (node int, bits int64) {
+	for v, w := range m.PerNodeWordsRecv {
+		b := w * int64(m.WordBits)
+		if b > bits {
+			node, bits = v, b
+		}
+	}
+	return node, bits
+}
