@@ -343,3 +343,60 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 	report(b, res)
 }
+
+// --- Engine-level microbenchmarks -------------------------------------
+//
+// These measure the simulator substrate itself, independent of any paper
+// algorithm: steady-state rounds/sec, delivered words/sec and allocs/round
+// under a continuous all-neighbor flood. One benchmark op is exactly one
+// engine round, so the reported allocs/op is allocs/round. Run on both a
+// G(n,p) graph (uniform degrees) and a Barabasi-Albert power-law graph
+// (skewed degrees, the social-network regime from the paper's intro).
+
+type floodNode struct{}
+
+func (floodNode) Init(ctx *sim.Context) {}
+
+func (floodNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
+	ctx.Broadcast(sim.Word(ctx.ID()))
+}
+
+func benchEngineStep(b *testing.B, g *graph.Graph, parallel bool) {
+	b.Helper()
+	nodes := make([]sim.Node, g.N())
+	for v := range nodes {
+		nodes[v] = floodNode{}
+	}
+	eng, err := sim.NewEngine(g, nodes, sim.Config{Seed: 1, Parallel: parallel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Run(4) // init nodes and reach steady state before measuring
+	start := eng.Metrics().WordsDelivered
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run(b.N)
+	b.StopTimer()
+	words := eng.Metrics().WordsDelivered - start
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+	b.ReportMetric(float64(words)/b.Elapsed().Seconds(), "words/sec")
+}
+
+func benchEngineGnp(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	return graph.Gnp(512, 0.05, rng)
+}
+
+func benchEnginePowerLaw(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(43))
+	return graph.BarabasiAlbert(512, 8, rng)
+}
+
+func BenchmarkEngineStepGnp(b *testing.B)         { benchEngineStep(b, benchEngineGnp(b), false) }
+func BenchmarkEngineStepGnpParallel(b *testing.B) { benchEngineStep(b, benchEngineGnp(b), true) }
+func BenchmarkEngineStepPowerLaw(b *testing.B)    { benchEngineStep(b, benchEnginePowerLaw(b), false) }
+func BenchmarkEngineStepPowerLawParallel(b *testing.B) {
+	benchEngineStep(b, benchEnginePowerLaw(b), true)
+}

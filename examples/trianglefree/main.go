@@ -71,7 +71,7 @@ func addShortcuts(g *graph.Graph, k int, rng *rand.Rand) *graph.Graph {
 		if len(nbrs) < 2 {
 			continue
 		}
-		a, c := nbrs[rng.Intn(len(nbrs))], nbrs[rng.Intn(len(nbrs))]
+		a, c := int(nbrs[rng.Intn(len(nbrs))]), int(nbrs[rng.Intn(len(nbrs))])
 		if a == c || b.HasEdge(a, c) {
 			continue
 		}

@@ -135,7 +135,7 @@ func (c *counterNode) computeLocalCount(ctx *sim.Context) {
 	me := ctx.ID()
 	nbrSet := make(map[int]struct{}, ctx.CommDegree())
 	for _, v := range ctx.InputNeighbors() {
-		nbrSet[v] = struct{}{}
+		nbrSet[int(v)] = struct{}{}
 	}
 	for a, lst := range c.twoHop {
 		if a < me {

@@ -202,7 +202,8 @@ func NewDolevRouted(g *graph.Graph, b int, variant DolevVariant, routing DolevRo
 // node w) triple, in the exact deterministic order nodes themselves use.
 func forEachAnnouncement(g *graph.Graph, plan *dolevPlan, visit func(u, v, w int)) {
 	for u := 0; u < g.N(); u++ {
-		for _, v := range g.Neighbors(u) {
+		for _, v32 := range g.Neighbors(u) {
+			v := int(v32)
 			if u > v {
 				continue // the lower endpoint owns the edge
 			}
@@ -250,7 +251,8 @@ func (h *dolevHandler) Start(ctx *sim.Context, phase int) {
 	me := ctx.ID()
 	switch {
 	case phase == 0 && h.routing == DirectRouting:
-		for _, v := range ctx.InputNeighbors() {
+		for _, v32 := range ctx.InputNeighbors() {
+			v := int(v32)
 			if me > v {
 				continue
 			}
@@ -263,7 +265,8 @@ func (h *dolevHandler) Start(ctx *sim.Context, phase int) {
 		}
 	case phase == 0 && h.routing == RelayRouting:
 		seq := 0
-		for _, v := range ctx.InputNeighbors() {
+		for _, v32 := range ctx.InputNeighbors() {
+			v := int(v32)
 			if me > v {
 				continue
 			}
@@ -314,7 +317,7 @@ func (h *dolevHandler) Finish(ctx *sim.Context) {
 	// never ship an edge to one of its endpoints).
 	me := ctx.ID()
 	for _, v := range ctx.InputNeighbors() {
-		h.edges = append(h.edges, graph.NewEdge(me, v))
+		h.edges = append(h.edges, graph.NewEdge(me, int(v)))
 	}
 	for _, t := range graph.TrianglesAmongEdges(h.edges) {
 		if t.Contains(me) || h.ownsTripleOf(t, me) {

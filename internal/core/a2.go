@@ -54,13 +54,13 @@ func (h *a2Handler) Start(ctx *sim.Context, phase int) {
 		// first round of phase 1, and Receive runs before Start).
 		cap2 := h.p.A2EdgeCap()
 		for idx, a := range ctx.CommNeighbors() {
-			ha, ok := h.hashes[a]
+			ha, ok := h.hashes[int(a)]
 			if !ok {
 				continue
 			}
 			var set []sim.Word
 			for _, l := range ctx.InputNeighbors() {
-				if ha.Eval(l) == 0 {
+				if ha.Eval(int(l)) == 0 {
 					set = append(set, sim.Word(l))
 					if len(set) > cap2 {
 						break

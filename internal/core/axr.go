@@ -137,7 +137,7 @@ func (h *axrHandler) startNX(ctx *sim.Context) {
 	// this phase, before Start.
 	var nx []sim.Word
 	for _, nbr := range ctx.InputNeighbors() {
-		if h.xBit[nbr] {
+		if h.xBit[int(nbr)] {
 			nx = append(nx, sim.Word(nbr))
 			if len(nx) >= h.p.XCap() {
 				// Oversized X: truncate (the paper aborts the attempt; both
@@ -165,14 +165,14 @@ func (h *axrHandler) startS(ctx *sim.Context) {
 	}
 	nbrs := ctx.CommNeighbors()
 	for ji, j := range nbrs {
-		if !h.uBit[ji] || !ctx.HasInputEdge(j) {
+		if !h.uBit[ji] || !ctx.HasInputEdge(int(j)) {
 			continue
 		}
 		// S(j, me) = {l in U : {j,l} in Delta(X) and {me,l} in E}.
 		var set []sim.Word
 		over := false
 		for li, l := range nbrs {
-			if li == ji || !h.uBit[li] || !ctx.HasInputEdge(l) {
+			if li == ji || !h.uBit[li] || !ctx.HasInputEdge(int(l)) {
 				continue
 			}
 			if h.delta[ji][li] {
@@ -210,7 +210,7 @@ func (h *axrHandler) startV(ctx *sim.Context) {
 		payload = append(payload, sim.Word(k))
 	}
 	for li, l := range ctx.CommNeighbors() {
-		if h.uBit[li] && ctx.HasInputEdge(l) {
+		if h.uBit[li] && ctx.HasInputEdge(int(l)) {
 			ctx.Send(li, payload...)
 		}
 	}
@@ -307,12 +307,12 @@ func (h *axrHandler) computeDelta(ctx *sim.Context) {
 		h.delta[ji] = make([]bool, deg)
 	}
 	for ji := 0; ji < deg; ji++ {
-		j := nbrs[ji]
+		j := int(nbrs[ji])
 		if !ctx.HasInputEdge(j) {
 			continue
 		}
 		for li := ji + 1; li < deg; li++ {
-			l := nbrs[li]
+			l := int(nbrs[li])
 			if !ctx.HasInputEdge(l) {
 				continue
 			}

@@ -101,12 +101,13 @@ func notGoodCount(g *graph.Graph, u []int, x graph.VertexSet, r float64) int {
 	for _, j := range u {
 		big := 0
 		for _, k := range g.Neighbors(j) {
-			if !inU.Has(k) {
+			if !inU.Has(int(k)) {
 				continue
 			}
 			// S^X_U(j,k) = {l in U : {j,l} in Delta(X), {k,l} in E}.
 			size := 0
-			for _, l := range g.Neighbors(k) {
+			for _, l32 := range g.Neighbors(int(k)) {
+				l := int(l32)
 				if l != j && inU.Has(l) && graph.InDeltaX(g, x, j, l) {
 					size++
 				}

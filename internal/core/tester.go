@@ -51,7 +51,7 @@ func (h *testerHandler) Start(ctx *sim.Context, phase int) {
 		if ji == li {
 			continue
 		}
-		ctx.SendTo(nbrs[ji], sim.Word(nbrs[li]))
+		ctx.SendTo(int(nbrs[ji]), sim.Word(nbrs[li]))
 	}
 }
 

@@ -5,12 +5,17 @@
 //
 // All node identifiers are integers in [0, n), matching the paper's
 // assumption I = V = [0, n-1].
+//
+// Graphs are stored in compressed sparse row (CSR) form: a single offsets
+// array and a single targets array shared by all vertices. Adjacency queries
+// return subslices of the targets slab, so iterating a neighborhood touches
+// one contiguous cache-friendly region and performs no allocation.
 package graph
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Edge is an unordered pair of distinct vertices, stored with U < V.
@@ -94,13 +99,14 @@ func (t Triangle) Valid() bool { return t.A < t.B && t.B < t.C && t.A >= 0 }
 // String implements fmt.Stringer.
 func (t Triangle) String() string { return fmt.Sprintf("{%d,%d,%d}", t.A, t.B, t.C) }
 
-// Graph is an immutable simple undirected graph with vertices [0, n).
-// Adjacency lists are sorted ascending, enabling O(log d) membership tests
-// and linear-time sorted intersections.
+// Graph is an immutable simple undirected graph with vertices [0, n), stored
+// as CSR arrays. Per-vertex adjacency is sorted ascending, enabling O(log d)
+// membership tests and linear-time sorted intersections.
 type Graph struct {
-	n   int
-	m   int
-	adj [][]int
+	n    int
+	m    int
+	offs []int32 // len n+1; adjacency of v is tgts[offs[v]:offs[v+1]]
+	tgts []int32 // len 2m; neighbor ids, sorted within each vertex range
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate edges
@@ -137,25 +143,29 @@ func (b *Builder) HasEdge(a, c int) bool {
 // EdgeCount returns the number of distinct edges added so far.
 func (b *Builder) EdgeCount() int { return len(b.edges) }
 
-// Build finalizes the Builder into an immutable Graph.
+// Build finalizes the Builder into an immutable CSR Graph.
 func (b *Builder) Build() *Graph {
-	adj := make([][]int, b.n)
-	deg := make([]int, b.n)
+	offs := make([]int32, b.n+1)
 	for e := range b.edges {
-		deg[e.U]++
-		deg[e.V]++
+		offs[e.U+1]++
+		offs[e.V+1]++
 	}
-	for v := range adj {
-		adj[v] = make([]int, 0, deg[v])
+	for v := 0; v < b.n; v++ {
+		offs[v+1] += offs[v]
 	}
+	tgts := make([]int32, 2*len(b.edges))
+	fill := make([]int32, b.n)
 	for e := range b.edges {
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
+		tgts[offs[e.U]+fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		tgts[offs[e.V]+fill[e.V]] = int32(e.U)
+		fill[e.V]++
 	}
-	for v := range adj {
-		sort.Ints(adj[v])
+	g := &Graph{n: b.n, m: len(b.edges), offs: offs, tgts: tgts}
+	for v := 0; v < b.n; v++ {
+		slices.Sort(g.Neighbors(v))
 	}
-	return &Graph{n: b.n, m: len(b.edges), adj: adj}
+	return g
 }
 
 // FromEdges builds a graph on n vertices from an edge slice.
@@ -176,22 +186,28 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return g.m }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offs[v+1] - g.offs[v]) }
 
 // MaxDegree returns the maximum degree d_max (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
-	d := 0
+	d := int32(0)
 	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
+		if dv := g.offs[v+1] - g.offs[v]; dv > d {
+			d = dv
 		}
 	}
-	return d
+	return int(d)
 }
 
-// Neighbors returns the sorted adjacency list of v. The returned slice is
-// shared with the graph's internal storage and must not be modified.
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+// Neighbors returns the sorted adjacency of v as a subslice of the CSR
+// targets slab. The returned slice is shared with the graph's internal
+// storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.tgts[g.offs[v]:g.offs[v+1]] }
+
+// CSR exposes the raw CSR arrays (offsets of length n+1, targets of length
+// 2m). Consumers such as the simulator index flat per-edge state by
+// offsets[v]+i. The slices are shared and must not be modified.
+func (g *Graph) CSR() (offsets, targets []int32) { return g.offs, g.tgts }
 
 // HasEdge reports whether {a, b} is an edge, in O(log deg) time.
 func (g *Graph) HasEdge(a, b int) bool {
@@ -199,21 +215,20 @@ func (g *Graph) HasEdge(a, b int) bool {
 		return false
 	}
 	// Search the shorter list.
-	if len(g.adj[a]) > len(g.adj[b]) {
+	if g.Degree(a) > g.Degree(b) {
 		a, b = b, a
 	}
-	lst := g.adj[a]
-	i := sort.SearchInts(lst, b)
-	return i < len(lst) && lst[i] == b
+	_, ok := slices.BinarySearch(g.Neighbors(a), int32(b))
+	return ok
 }
 
 // Edges returns all edges in canonical order (sorted by (U, V)).
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if u < v {
-				out = append(out, Edge{U: u, V: v})
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				out = append(out, Edge{U: u, V: int(v)})
 			}
 		}
 	}
@@ -221,13 +236,13 @@ func (g *Graph) Edges() []Edge {
 }
 
 // CommonNeighbors returns the sorted intersection N(a) cap N(b).
-func (g *Graph) CommonNeighbors(a, b int) []int {
-	return IntersectSorted(g.adj[a], g.adj[b])
+func (g *Graph) CommonNeighbors(a, b int) []int32 {
+	return IntersectSorted(g.Neighbors(a), g.Neighbors(b))
 }
 
 // CommonNeighborCount returns |N(a) cap N(b)| without allocating.
 func (g *Graph) CommonNeighborCount(a, b int) int {
-	la, lb := g.adj[a], g.adj[b]
+	la, lb := g.Neighbors(a), g.Neighbors(b)
 	i, j, c := 0, 0, 0
 	for i < len(la) && j < len(lb) {
 		switch {
@@ -244,23 +259,30 @@ func (g *Graph) CommonNeighborCount(a, b int) int {
 	return c
 }
 
-// Validate checks internal invariants (sorted adjacency, symmetry, no loops).
-// It is primarily a test helper for hand-constructed graphs.
+// Validate checks internal invariants (monotone offsets, sorted adjacency,
+// symmetry, no loops). It is primarily a test helper for hand-constructed
+// graphs.
 func (g *Graph) Validate() error {
+	if len(g.offs) != g.n+1 || g.offs[0] != 0 || int(g.offs[g.n]) != len(g.tgts) {
+		return errors.New("malformed CSR offsets")
+	}
 	count := 0
 	for v := 0; v < g.n; v++ {
-		lst := g.adj[v]
+		if g.offs[v] > g.offs[v+1] {
+			return fmt.Errorf("offsets not monotone at %d", v)
+		}
+		lst := g.Neighbors(v)
 		for i, u := range lst {
-			if u == v {
+			if int(u) == v {
 				return fmt.Errorf("self-loop at %d", v)
 			}
-			if u < 0 || u >= g.n {
+			if u < 0 || int(u) >= g.n {
 				return fmt.Errorf("neighbor %d of %d out of range", u, v)
 			}
 			if i > 0 && lst[i-1] >= u {
 				return fmt.Errorf("adjacency of %d not strictly sorted", v)
 			}
-			if !g.HasEdge(u, v) {
+			if !g.HasEdge(int(u), v) {
 				return fmt.Errorf("asymmetric edge {%d,%d}", v, u)
 			}
 			count++
@@ -286,8 +308,8 @@ func (g *Graph) Subgraph(vs []int) (*Graph, []int) {
 	}
 	b := NewBuilder(len(orig))
 	for _, v := range orig {
-		for _, u := range g.adj[v] {
-			if nu, ok := keep[u]; ok && keep[v] < nu {
+		for _, u := range g.Neighbors(v) {
+			if nu, ok := keep[int(u)]; ok && keep[v] < nu {
 				// Safe: both endpoints kept and distinct.
 				_ = b.AddEdge(keep[v], nu)
 			}
@@ -297,11 +319,11 @@ func (g *Graph) Subgraph(vs []int) (*Graph, []int) {
 }
 
 // IntersectSorted returns the intersection of two ascending-sorted slices.
-func IntersectSorted(a, b []int) []int {
+func IntersectSorted[E ~int | ~int32 | ~int64](a, b []E) []E {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	out := make([]int, 0, len(a))
+	out := make([]E, 0, len(a))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

@@ -123,7 +123,7 @@ func TestGraphBasicAccessors(t *testing.T) {
 	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 3) || g.HasEdge(0, 0) || g.HasEdge(-1, 2) || g.HasEdge(0, 9) {
 		t.Fatal("HasEdge wrong")
 	}
-	if got := g.Neighbors(0); !sort.IntsAreSorted(got) || len(got) != 2 {
+	if got := g.Neighbors(0); !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) || len(got) != 2 {
 		t.Fatalf("Neighbors(0) = %v", got)
 	}
 	edges := g.Edges()
@@ -141,10 +141,10 @@ func TestCommonNeighbors(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		a, b := rng.Intn(40), rng.Intn(40)
 		got := g.CommonNeighbors(a, b)
-		var want []int
+		var want []int32
 		for v := 0; v < 40; v++ {
 			if g.HasEdge(a, v) && g.HasEdge(b, v) {
-				want = append(want, v)
+				want = append(want, int32(v))
 			}
 		}
 		if len(got) != len(want) {

@@ -83,11 +83,11 @@ func BFSDepths(g *Graph, src int) []int {
 		depth[i] = -1
 	}
 	depth[src] = 0
-	queue := []int{src}
+	queue := []int32{int32(src)}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.Neighbors(int(v)) {
 			if depth[u] == -1 {
 				depth[u] = depth[v] + 1
 				queue = append(queue, u)

@@ -2,56 +2,76 @@ package graph
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
 // ListTriangles enumerates T(G) exactly using the degree-ordered compact
 // forward algorithm, which runs in O(m^{3/2}) time. It is the centralized
 // ground-truth oracle against which every distributed algorithm is verified.
+//
+// The oriented adjacency is built as a second CSR slab (one offsets array,
+// one targets array) mirroring the graph's own storage, so the hot
+// intersection loop scans two contiguous int32 ranges.
 func ListTriangles(g *Graph) []Triangle {
 	n := g.N()
 	// rank orders vertices by (degree desc, id asc); orienting edges from
 	// lower to higher rank bounds out-degrees by O(sqrt(m)).
-	order := make([]int, n)
+	order := make([]int32, n)
 	for i := range order {
-		order[i] = i
+		order[i] = int32(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		di, dj := g.Degree(int(order[i])), g.Degree(int(order[j]))
 		if di != dj {
 			return di > dj
 		}
 		return order[i] < order[j]
 	})
-	rank := make([]int, n)
+	rank := make([]int32, n)
 	for r, v := range order {
-		rank[v] = r
+		rank[v] = int32(r)
 	}
-	// fwd[v] = neighbors of v with higher rank, sorted by rank.
-	fwd := make([][]int, n)
+	// Forward CSR: fwd adjacency of v = neighbors with higher rank, stored
+	// by rank so the merge below intersects rank-sorted runs.
+	foffs := make([]int32, n+1)
 	for v := 0; v < n; v++ {
 		for _, u := range g.Neighbors(v) {
 			if rank[u] > rank[v] {
-				fwd[v] = append(fwd[v], u)
+				foffs[v+1]++
 			}
 		}
-		sort.Slice(fwd[v], func(i, j int) bool { return rank[fwd[v][i]] < rank[fwd[v][j]] })
+	}
+	for v := 0; v < n; v++ {
+		foffs[v+1] += foffs[v]
+	}
+	ftgts := make([]int32, foffs[n])
+	fill := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				ftgts[foffs[v]+fill[v]] = rank[u]
+				fill[v]++
+			}
+		}
+		slices.Sort(ftgts[foffs[v] : foffs[v]+fill[v]])
 	}
 	var out []Triangle
 	for _, u := range order {
-		for _, v := range fwd[u] {
+		a := ftgts[foffs[u]:foffs[u+1]]
+		for _, rv := range a {
+			v := order[rv]
 			// Triangles {u, v, w} with rank(u) < rank(v) < rank(w).
-			a, b := fwd[u], fwd[v]
+			b := ftgts[foffs[v]:foffs[v+1]]
 			i, j := 0, 0
 			for i < len(a) && j < len(b) {
-				ra, rb := rank[a[i]], rank[b[j]]
 				switch {
-				case ra < rb:
+				case a[i] < b[j]:
 					i++
-				case ra > rb:
+				case a[i] > b[j]:
 					j++
 				default:
-					out = append(out, NewTriangle(u, v, a[i]))
+					out = append(out, NewTriangle(int(u), int(v), int(order[a[i]])))
 					i++
 					j++
 				}
@@ -91,8 +111,8 @@ func TrianglesOf(g *Graph, v int) []Triangle {
 	nbrs := g.Neighbors(v)
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			if g.HasEdge(nbrs[i], nbrs[j]) {
-				out = append(out, NewTriangle(v, nbrs[i], nbrs[j]))
+			if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+				out = append(out, NewTriangle(v, int(nbrs[i]), int(nbrs[j])))
 			}
 		}
 	}
@@ -197,7 +217,7 @@ func InDeltaX(g *Graph, x VertexSet, j, l int) bool {
 		case a[i] > b[k]:
 			k++
 		default:
-			if x.Has(a[i]) {
+			if x.Has(int(a[i])) {
 				return false
 			}
 			i++

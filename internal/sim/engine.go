@@ -35,8 +35,9 @@ type Config struct {
 	BandwidthWords int
 	// Seed derives every node's private random stream.
 	Seed int64
-	// Parallel runs node state machines on all CPUs. Results are identical
-	// to the sequential engine for the same seed.
+	// Parallel shards the delivery phase by receiver and runs node state
+	// machines on all CPUs. Results are bit-identical to the sequential
+	// engine for the same seed (see DESIGN.md, "determinism contract").
 	Parallel bool
 	// MaxRounds aborts RunUntilQuiescent (default 1 << 22).
 	MaxRounds int
@@ -60,12 +61,24 @@ func (c Config) withDefaults() Config {
 var ErrMaxRounds = errors.New("sim: exceeded MaxRounds without quiescing")
 
 // wordQueue is a FIFO of words with an amortized O(1) pop-front.
+//
+// Slices returned by popUpTo alias buf and stay valid until the next push:
+// pops happen in the delivery phase, pushes in the merge phase after every
+// node has consumed its inbox, so compacting dead head space at push time
+// never clobbers words a node is still reading.
 type wordQueue struct {
 	buf  []Word
 	head int
 }
 
-func (q *wordQueue) push(ws []Word) { q.buf = append(q.buf, ws...) }
+func (q *wordQueue) push(ws []Word) {
+	if q.head > 4096 && q.head*2 > len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, ws...)
+}
 
 func (q *wordQueue) popUpTo(k int) []Word {
 	avail := len(q.buf) - q.head
@@ -80,48 +93,69 @@ func (q *wordQueue) popUpTo(k int) []Word {
 	if q.head == len(q.buf) {
 		q.buf = q.buf[:0]
 		q.head = 0
-	} else if q.head > 4096 && q.head*2 > len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
 	}
 	return out
 }
 
 func (q *wordQueue) empty() bool { return q.head == len(q.buf) }
 
+func (q *wordQueue) pending() int { return len(q.buf) - q.head }
+
 // Engine simulates one algorithm run over one input graph.
+//
+// Channel state lives in a single flat slab: the communication topology is a
+// CSR adjacency (commOffs, commTgts) and the directed channel from u to its
+// i-th communication neighbor is slot commOffs[u]+i of every per-edge array
+// (queues, edgeFrom, edgeStamp). Active channels are tracked with
+// epoch-stamped dense arrays plus compacted lists, so a round touches only
+// live state and steady-state rounds allocate nothing.
 type Engine struct {
 	cfg   Config
 	input *graph.Graph
 	nodes []Node
 	ctxs  []*Context
 
-	// comm[v] is the communication adjacency of v (sorted node ids).
-	comm [][]int
-	// queues[v][i] is the channel FROM v TO comm[v][i].
-	queues [][]wordQueue
-	// inRefs[v] lists, for each communication in-edge of v, the sender u and
-	// the index of v in comm[u] — i.e. where to find the queue feeding v.
-	inRefs [][]inRef
+	// Communication topology, CSR form. commTgts[commOffs[v]+i] is the i-th
+	// communication neighbor of v. In CONGEST and broadcast modes these
+	// slices alias the input graph's own CSR slab (zero copy).
+	commOffs []int32
+	commTgts []int32
 
-	activeList []dirEdge
-	activeSet  map[dirEdge]struct{}
+	// Flat per-directed-edge slabs, indexed by eid = commOffs[u]+i.
+	queues    []wordQueue
+	edgeFrom  []int32  // sender u of edge eid
+	edgeStamp []uint32 // == epoch iff the channel has queued words
+
+	// Receiver-major active tracking: recvActive[v] lists the active in-edge
+	// ids of v in activation order; activeRecv lists receivers with at least
+	// one active in-edge. Stamps dedupe insertions; bumping epoch invalidates
+	// every stamp at once.
+	epoch      uint32
+	recvStamp  []uint32
+	recvActive [][]int32
+	activeRecv []int32
 
 	// Broadcast-mode state: one shared outgoing queue per node.
 	bcastQ      []wordQueue
-	bcastActive []int
+	bcastActive []int32
 	bcastInSet  []bool
 
-	inboxes [][]Delivery
-	metrics Metrics
-	round   int
-	started bool
+	inboxes   [][]Delivery
+	scheduled []int32 // pooled across rounds
+	shards    []deliveryShard
+	metrics   Metrics
+	round     int
+	started   bool
 }
 
-type dirEdge struct{ from, idx int }
-
-type inRef struct{ from, idx int }
+// deliveryShard accumulates one worker's delivery-phase counters; padded to
+// a full 64-byte cache line so workers do not false-share.
+type deliveryShard struct {
+	messages int64
+	words    int64
+	moved    bool
+	_        [47]byte
+}
 
 // NewEngine builds an engine for the given input graph and per-node
 // algorithm instances. len(nodes) must equal input.N().
@@ -132,40 +166,49 @@ func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("sim: %d nodes for %d-vertex graph", len(nodes), n)
 	}
 	e := &Engine{
-		cfg:       cfg,
-		input:     input,
-		nodes:     nodes,
-		activeSet: make(map[dirEdge]struct{}),
+		cfg:   cfg,
+		input: input,
+		nodes: nodes,
+		epoch: 1,
 	}
+	switch cfg.Mode {
+	case ModeClique:
+		// CSR offsets are int32; the clique needs n*(n-1) directed-edge slots.
+		if n > 1 && n*(n-1) > (1<<31-1) {
+			return nil, fmt.Errorf("sim: clique mode supports at most 46341 nodes (n=%d overflows the CSR edge space)", n)
+		}
+		e.commOffs = make([]int32, n+1)
+		e.commTgts = make([]int32, n*(n-1))
+		for v := 0; v < n; v++ {
+			e.commOffs[v+1] = e.commOffs[v] + int32(n-1)
+			lst := e.commTgts[e.commOffs[v]:e.commOffs[v+1]]
+			i := 0
+			for u := 0; u < n; u++ {
+				if u != v {
+					lst[i] = int32(u)
+					i++
+				}
+			}
+		}
+	default:
+		e.commOffs, e.commTgts = input.CSR()
+	}
+	ne := len(e.commTgts) // directed channel count
+	e.queues = make([]wordQueue, ne)
+	e.edgeFrom = make([]int32, ne)
+	e.edgeStamp = make([]uint32, ne)
+	for v := 0; v < n; v++ {
+		for eid := e.commOffs[v]; eid < e.commOffs[v+1]; eid++ {
+			e.edgeFrom[eid] = int32(v)
+		}
+	}
+	e.recvStamp = make([]uint32, n)
+	e.recvActive = make([][]int32, n)
 	if cfg.Mode == ModeBroadcast {
 		e.bcastQ = make([]wordQueue, n)
 		e.bcastInSet = make([]bool, n)
 	}
-	e.comm = make([][]int, n)
-	for v := 0; v < n; v++ {
-		switch cfg.Mode {
-		case ModeClique:
-			lst := make([]int, 0, n-1)
-			for u := 0; u < n; u++ {
-				if u != v {
-					lst = append(lst, u)
-				}
-			}
-			e.comm[v] = lst
-		default:
-			e.comm[v] = input.Neighbors(v)
-		}
-	}
-	e.queues = make([][]wordQueue, n)
-	e.inRefs = make([][]inRef, n)
-	for v := 0; v < n; v++ {
-		e.queues[v] = make([]wordQueue, len(e.comm[v]))
-	}
-	for u := 0; u < n; u++ {
-		for i, v := range e.comm[u] {
-			e.inRefs[v] = append(e.inRefs[v], inRef{from: u, idx: i})
-		}
-	}
+	inOffs, inTgts := input.CSR()
 	e.ctxs = make([]*Context, n)
 	for v := 0; v < n; v++ {
 		e.ctxs[v] = &Context{
@@ -173,8 +216,8 @@ func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
 			n:         n,
 			banw:      cfg.BandwidthWords,
 			rng:       rand.New(rand.NewSource(nodeSeed(cfg.Seed, v))),
-			comm:      e.comm[v],
-			input:     input.Neighbors(v),
+			comm:      e.commTgts[e.commOffs[v]:e.commOffs[v+1]],
+			input:     inTgts[inOffs[v]:inOffs[v+1]],
 			bcastOnly: cfg.Mode == ModeBroadcast,
 		}
 	}
@@ -208,47 +251,85 @@ func (e *Engine) initNodes() {
 	}
 }
 
-// flushPending moves ctx.pending into channel queues, updating activity.
+// flushPending moves ctx.pending into channel queues, updating the active
+// stamps and lists. Always called in ascending node order (the merge phase
+// is sequential), which is what makes per-receiver activation order — and
+// hence inbox order — deterministic regardless of Config.Parallel.
 func (e *Engine) flushPending(v int) {
 	ctx := e.ctxs[v]
 	for _, ps := range ctx.pending {
+		ws := ctx.sendBuf[ps.off : ps.off+ps.n]
 		if ps.nbrIdx == bcastIdx {
-			e.bcastQ[v].push(ps.words)
-			ctx.wordsSent += int64(len(ps.words))
+			e.bcastQ[v].push(ws)
+			ctx.wordsSent += int64(len(ws))
 			if !e.bcastInSet[v] {
 				e.bcastInSet[v] = true
-				e.bcastActive = append(e.bcastActive, v)
+				e.bcastActive = append(e.bcastActive, int32(v))
 			}
 			continue
 		}
-		q := &e.queues[v][ps.nbrIdx]
-		q.push(ps.words)
-		ctx.wordsSent += int64(len(ps.words))
-		de := dirEdge{from: v, idx: ps.nbrIdx}
-		if _, ok := e.activeSet[de]; !ok {
-			e.activeSet[de] = struct{}{}
-			e.activeList = append(e.activeList, de)
+		eid := e.commOffs[v] + ps.nbrIdx
+		e.queues[eid].push(ws)
+		ctx.wordsSent += int64(len(ws))
+		if e.edgeStamp[eid] != e.epoch {
+			e.edgeStamp[eid] = e.epoch
+			to := e.commTgts[eid]
+			e.recvActive[to] = append(e.recvActive[to], eid)
+			if e.recvStamp[to] != e.epoch {
+				e.recvStamp[to] = e.epoch
+				e.activeRecv = append(e.activeRecv, to)
+			}
 		}
 	}
 	ctx.pending = ctx.pending[:0]
+	ctx.sendBuf = ctx.sendBuf[:0]
+	e.metrics.PerNodeWordsSent[v] = ctx.wordsSent
 }
 
-// step executes one round: deliver up to B words on each active channel,
-// then run every scheduled node, then flush sends.
+// deliverTo drains up to B words from every active in-edge of receiver v
+// into v's inbox. It touches only v-owned state (v's inbox, v's in-edge
+// queues and stamps, v's recv counter) plus the caller's shard, so distinct
+// receivers can be processed concurrently.
+func (e *Engine) deliverTo(v int32, shard *deliveryShard) {
+	b := e.cfg.BandwidthWords
+	keep := e.recvActive[v][:0]
+	for _, eid := range e.recvActive[v] {
+		q := &e.queues[eid]
+		ws := q.popUpTo(b)
+		if len(ws) > 0 {
+			e.inboxes[v] = append(e.inboxes[v], Delivery{From: int(e.edgeFrom[eid]), Words: ws})
+			shard.messages++
+			shard.words += int64(len(ws))
+			e.metrics.PerNodeWordsRecv[v] += int64(len(ws))
+			shard.moved = true
+		}
+		if !q.empty() {
+			keep = append(keep, eid)
+		} else {
+			e.edgeStamp[eid] = 0
+		}
+	}
+	e.recvActive[v] = keep
+}
+
+// step executes one round: deliver up to B words on each active channel
+// (receiver-major, sharded across workers when Parallel), then run every
+// scheduled node, then flush sends in node order.
 func (e *Engine) step() {
 	n := len(e.nodes)
 	b := e.cfg.BandwidthWords
 	// Phase 1: deliveries.
 	moved := false
 	// Broadcast-mode: each active node emits one B-word message heard by
-	// every neighbor.
+	// every neighbor. A sender fans out to many inboxes, so this path stays
+	// sequential; broadcast mode never has unicast traffic (Send panics).
 	stillBcast := e.bcastActive[:0]
 	for _, u := range e.bcastActive {
 		q := &e.bcastQ[u]
 		ws := q.popUpTo(b)
 		if len(ws) > 0 {
-			for _, to := range e.comm[u] {
-				e.inboxes[to] = append(e.inboxes[to], Delivery{From: u, Words: ws})
+			for _, to := range e.commTgts[e.commOffs[u]:e.commOffs[u+1]] {
+				e.inboxes[to] = append(e.inboxes[to], Delivery{From: int(u), Words: ws})
 				e.metrics.MessagesDelivered++
 				e.metrics.WordsDelivered += int64(len(ws))
 				e.metrics.PerNodeWordsRecv[to] += int64(len(ws))
@@ -262,62 +343,87 @@ func (e *Engine) step() {
 		}
 	}
 	e.bcastActive = stillBcast
-	stillActive := e.activeList[:0]
-	for _, de := range e.activeList {
-		q := &e.queues[de.from][de.idx]
-		ws := q.popUpTo(b)
-		if len(ws) > 0 {
-			to := e.comm[de.from][de.idx]
-			e.inboxes[to] = append(e.inboxes[to], Delivery{From: de.from, Words: ws})
-			e.metrics.MessagesDelivered++
-			e.metrics.WordsDelivered += int64(len(ws))
-			e.metrics.PerNodeWordsRecv[to] += int64(len(ws))
-			moved = true
+	// Unicast channels, receiver-major. Workers own disjoint receivers, so
+	// every mutation in deliverTo is single-writer; the deterministic part —
+	// which receiver gets which deliveries in which order — is fixed by
+	// recvActive's activation order, not by worker interleaving.
+	if e.cfg.Parallel && len(e.activeRecv) > 1 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(e.activeRecv) {
+			workers = len(e.activeRecv)
 		}
-		if !q.empty() {
-			stillActive = append(stillActive, de)
+		if cap(e.shards) < workers {
+			e.shards = make([]deliveryShard, workers)
+		}
+		shards := e.shards[:workers]
+		for i := range shards {
+			shards[i] = deliveryShard{}
+		}
+		parallelFor(e.activeRecv, func(worker int, v int32) {
+			e.deliverTo(v, &shards[worker])
+		})
+		for i := range shards {
+			e.metrics.MessagesDelivered += shards[i].messages
+			e.metrics.WordsDelivered += shards[i].words
+			moved = moved || shards[i].moved
+		}
+	} else if len(e.activeRecv) > 0 {
+		var shard deliveryShard
+		for _, v := range e.activeRecv {
+			e.deliverTo(v, &shard)
+		}
+		e.metrics.MessagesDelivered += shard.messages
+		e.metrics.WordsDelivered += shard.words
+		moved = moved || shard.moved
+	}
+	// Compact the receiver list sequentially (preserves activation order).
+	stillRecv := e.activeRecv[:0]
+	for _, v := range e.activeRecv {
+		if len(e.recvActive[v]) > 0 {
+			stillRecv = append(stillRecv, v)
 		} else {
-			delete(e.activeSet, de)
+			e.recvStamp[v] = 0
 		}
 	}
-	e.activeList = stillActive
+	e.activeRecv = stillRecv
 	if moved {
 		e.metrics.ActiveRounds++
 	}
 	// Phase 2: run scheduled nodes.
-	scheduled := make([]int, 0, n)
+	scheduled := e.scheduled[:0]
 	for v := 0; v < n; v++ {
 		ctx := e.ctxs[v]
 		if ctx.done && len(e.inboxes[v]) == 0 {
 			continue
 		}
 		if len(e.inboxes[v]) > 0 || ctx.wake <= e.round {
-			scheduled = append(scheduled, v)
+			scheduled = append(scheduled, int32(v))
 		}
 	}
-	run := func(v int) {
+	e.scheduled = scheduled
+	run := func(_ int, v int32) {
 		e.nodes[v].Round(e.ctxs[v], e.round, e.inboxes[v])
 	}
 	if e.cfg.Parallel && len(scheduled) > 1 {
 		parallelFor(scheduled, run)
 	} else {
 		for _, v := range scheduled {
-			run(v)
+			run(0, v)
 		}
 	}
-	// Phase 3: merge (deterministic node order).
+	// Phase 3: merge (deterministic node order — scheduled is ascending).
 	for _, v := range scheduled {
-		e.flushPending(v)
+		e.flushPending(int(v))
 		e.inboxes[v] = e.inboxes[v][:0]
-	}
-	for v := 0; v < n; v++ {
-		e.metrics.PerNodeWordsSent[v] = e.ctxs[v].wordsSent
 	}
 	e.round++
 	e.metrics.Rounds = e.round
 }
 
-func parallelFor(items []int, fn func(int)) {
+// parallelFor runs fn over items on up to GOMAXPROCS workers in contiguous
+// chunks, passing each call its worker index so callers can keep per-worker
+// accumulators without sharing.
+func parallelFor(items []int32, fn func(worker int, v int32)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(items) {
 		workers = len(items)
@@ -326,22 +432,71 @@ func parallelFor(items []int, fn func(int)) {
 	chunk := (len(items) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(items) {
-			hi = len(items)
-		}
+		hi := min(lo+chunk, len(items))
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
-		go func(part []int) {
+		go func(w int, part []int32) {
 			defer wg.Done()
 			for _, v := range part {
-				fn(v)
+				fn(w, v)
 			}
-		}(items[lo:hi])
+		}(w, items[lo:hi])
 	}
 	wg.Wait()
+}
+
+// Reset rewinds the engine for a fresh run over the same graph and
+// topology: a new node set, a new seed, zeroed metrics and empty channels,
+// while every slab (queues, stamps, lists, inboxes, send arenas) keeps its
+// capacity. Bumping the epoch invalidates all channel and receiver stamps
+// in O(1); only channels that were still active have queued words to
+// discard, so resetting a drained engine is O(n). Repeated runs (benchmark
+// loops, repetition-amplified algorithms) reuse one engine allocation-free.
+func (e *Engine) Reset(nodes []Node, seed int64) error {
+	if len(nodes) != len(e.nodes) {
+		return fmt.Errorf("sim: reset with %d nodes for %d-vertex graph", len(nodes), len(e.nodes))
+	}
+	for _, v := range e.activeRecv {
+		for _, eid := range e.recvActive[v] {
+			q := &e.queues[eid]
+			q.buf = q.buf[:0]
+			q.head = 0
+		}
+		e.recvActive[v] = e.recvActive[v][:0]
+	}
+	e.activeRecv = e.activeRecv[:0]
+	for _, u := range e.bcastActive {
+		q := &e.bcastQ[u]
+		q.buf = q.buf[:0]
+		q.head = 0
+		e.bcastInSet[u] = false
+	}
+	e.bcastActive = e.bcastActive[:0]
+	e.epoch++
+	e.nodes = nodes
+	e.cfg.Seed = seed
+	for v, ctx := range e.ctxs {
+		ctx.rng.Seed(nodeSeed(seed, v))
+		ctx.pending = ctx.pending[:0]
+		ctx.sendBuf = ctx.sendBuf[:0]
+		ctx.outputs = ctx.outputs[:0]
+		ctx.wake = 0
+		ctx.offset = 0
+		ctx.done = false
+		ctx.wordsSent = 0
+		e.inboxes[v] = e.inboxes[v][:0]
+	}
+	e.metrics.Rounds = 0
+	e.metrics.ActiveRounds = 0
+	e.metrics.MessagesDelivered = 0
+	e.metrics.WordsDelivered = 0
+	clear(e.metrics.PerNodeWordsRecv)
+	clear(e.metrics.PerNodeWordsSent)
+	e.round = 0
+	e.started = false
+	return nil
 }
 
 // Run executes exactly `rounds` rounds (after Init on first call).
@@ -368,7 +523,7 @@ func (e *Engine) RunUntilQuiescent() error {
 }
 
 func (e *Engine) quiescent() bool {
-	if len(e.activeList) > 0 || len(e.bcastActive) > 0 {
+	if len(e.activeRecv) > 0 || len(e.bcastActive) > 0 {
 		return false
 	}
 	for _, ctx := range e.ctxs {
@@ -383,13 +538,13 @@ func (e *Engine) quiescent() bool {
 // phases drained — asserted by tests at phase boundaries).
 func (e *Engine) PendingWords() int {
 	total := 0
-	for _, de := range e.activeList {
-		q := &e.queues[de.from][de.idx]
-		total += len(q.buf) - q.head
+	for _, v := range e.activeRecv {
+		for _, eid := range e.recvActive[v] {
+			total += e.queues[eid].pending()
+		}
 	}
 	for _, u := range e.bcastActive {
-		q := &e.bcastQ[u]
-		total += len(q.buf) - q.head
+		total += e.bcastQ[u].pending()
 	}
 	return total
 }

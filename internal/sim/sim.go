@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -56,9 +57,10 @@ type Context struct {
 	n         int
 	banw      int
 	rng       *rand.Rand
-	comm      []int // communication neighbors (sorted)
-	input     []int // input-graph neighbors (sorted); == comm in CONGEST mode
+	comm      []int32 // communication neighbors (sorted); aliases the CSR slab
+	input     []int32 // input-graph neighbors (sorted); == comm in CONGEST mode
 	pending   []pendingSend
+	sendBuf   []Word // arena backing pending sends; reset every flush
 	outputs   []graph.Triangle
 	wake      int
 	offset    int
@@ -66,12 +68,13 @@ type Context struct {
 	bcastOnly bool
 
 	wordsSent int64
-	wordsRecv int64
 }
 
+// pendingSend records one queued send as a span of the context's arena, so
+// enqueuing a message costs no allocation once the arena has warmed up.
 type pendingSend struct {
-	nbrIdx int
-	words  []Word
+	nbrIdx int32
+	off, n int32
 }
 
 // ID returns this node's identifier in [0, n).
@@ -88,36 +91,28 @@ func (c *Context) RNG() *rand.Rand { return c.rng }
 
 // CommNeighbors returns the sorted communication neighbors. In the CONGEST
 // model these are the input-graph neighbors; in the CONGEST clique they are
-// all other nodes. The slice is shared and must not be modified.
-func (c *Context) CommNeighbors() []int { return c.comm }
+// all other nodes. The slice aliases the engine's CSR slab and must not be
+// modified.
+func (c *Context) CommNeighbors() []int32 { return c.comm }
 
 // CommDegree returns len(CommNeighbors()).
 func (c *Context) CommDegree() int { return len(c.comm) }
 
 // InputNeighbors returns the sorted neighbors of this node in the input
-// graph — the only part of the input a node initially knows. The slice is
-// shared and must not be modified.
-func (c *Context) InputNeighbors() []int { return c.input }
+// graph — the only part of the input a node initially knows. The slice
+// aliases the graph's CSR slab and must not be modified.
+func (c *Context) InputNeighbors() []int32 { return c.input }
 
 // HasInputEdge reports whether {this node, u} is an input-graph edge.
 func (c *Context) HasInputEdge(u int) bool {
-	return containsSorted(c.input, u)
+	return containsSorted(c.input, int32(u))
 }
 
 // NbrIndexOf maps a communication neighbor's node id to its index in
 // CommNeighbors. It returns -1 when u is not a neighbor.
 func (c *Context) NbrIndexOf(u int) int {
-	lo, hi := 0, len(c.comm)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.comm[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(c.comm) && c.comm[lo] == u {
-		return lo
+	if idx, ok := slices.BinarySearch(c.comm, int32(u)); ok {
+		return idx
 	}
 	return -1
 }
@@ -129,6 +124,9 @@ const bcastIdx = -1
 // neighbor. The engine delivers at most Bandwidth() words per channel per
 // round, in FIFO order. In the broadcast CONGEST model unicast is illegal
 // and Send panics.
+//
+// The words are copied into a per-node arena that the engine recycles every
+// round, so sending is allocation-free at steady state.
 func (c *Context) Send(nbrIdx int, words ...Word) {
 	if len(words) == 0 {
 		return
@@ -139,9 +137,14 @@ func (c *Context) Send(nbrIdx int, words ...Word) {
 	if nbrIdx < 0 || nbrIdx >= len(c.comm) {
 		panic(fmt.Sprintf("sim: node %d sends to invalid neighbor index %d", c.id, nbrIdx))
 	}
-	cp := make([]Word, len(words))
-	copy(cp, words)
-	c.pending = append(c.pending, pendingSend{nbrIdx: nbrIdx, words: cp})
+	c.enqueue(int32(nbrIdx), words)
+}
+
+// enqueue appends words to the arena and records the span.
+func (c *Context) enqueue(nbrIdx int32, words []Word) {
+	off := int32(len(c.sendBuf))
+	c.sendBuf = append(c.sendBuf, words...)
+	c.pending = append(c.pending, pendingSend{nbrIdx: nbrIdx, off: off, n: int32(len(words))})
 }
 
 // SendTo queues words to the communication neighbor with node id u.
@@ -162,9 +165,7 @@ func (c *Context) Broadcast(words ...Word) {
 		return
 	}
 	if c.bcastOnly {
-		cp := make([]Word, len(words))
-		copy(cp, words)
-		c.pending = append(c.pending, pendingSend{nbrIdx: bcastIdx, words: cp})
+		c.enqueue(bcastIdx, words)
 		return
 	}
 	for i := range c.comm {
@@ -199,17 +200,9 @@ func (c *Context) SetDone() { c.done = true }
 // sub-algorithm is followed by another segment.
 func (c *Context) ClearDone() { c.done = false }
 
-func containsSorted(lst []int, x int) bool {
-	lo, hi := 0, len(lst)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if lst[mid] < x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(lst) && lst[lo] == x
+func containsSorted(lst []int32, x int32) bool {
+	_, ok := slices.BinarySearch(lst, x)
+	return ok
 }
 
 // WordBits returns the number of bits per word for an n-node network:
