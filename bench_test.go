@@ -329,6 +329,100 @@ func BenchmarkOracleForward(b *testing.B) {
 	}
 }
 
+// --- Oracle and sweep-runner benchmarks --------------------------------
+//
+// These three benchmarks back BENCH_oracle.json, the perf-trajectory
+// record for the centralized oracle and the sweep runner (regenerate with
+// EMIT_BENCH_JSON=1, see benchjson_test.go). Each has a seq variant
+// (Workers=1) and a par variant (Workers=0, all CPUs); their outputs are
+// bit-identical, so the pair isolates the parallel speedup.
+
+// benchOracleGraph is the oracle workload: G(n, p) at n=2048 (~210k edges,
+// ~1.4M triangles), large enough that worker sharding dominates setup.
+func benchOracleGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	return graph.Gnp(2048, 0.1, rng)
+}
+
+func benchListTriangles(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := benchOracleGraph(b)
+		s := &graph.OracleScratch{Workers: workers}
+		tris := len(s.ListTriangles(g)) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(s.ListTriangles(g)) != tris {
+				b.Fatal("triangle count drifted")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(tris)*float64(b.N)/b.Elapsed().Seconds(), "triangles/sec")
+	}
+}
+
+func benchCountTriangles(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := benchOracleGraph(b)
+		s := &graph.OracleScratch{Workers: workers}
+		tris := s.CountTriangles(g) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s.CountTriangles(g) != tris {
+				b.Fatal("triangle count drifted")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(tris)*float64(b.N)/b.Elapsed().Seconds(), "triangles/sec")
+	}
+}
+
+// benchSweep runs the e9 baseline sweep (the cheapest full experiment that
+// still exercises graph generation, the engine and oracle verification per
+// cell) with the given sweep-cell worker count.
+func benchSweep(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		e, err := expt.ByID("e9")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := expt.Config{Quick: true, Seed: 1, Workers: workers}
+		cells := len(cfg.Sizes)
+		if cells == 0 {
+			cells = 4 // Quick default sizes
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	}
+}
+
+// BenchmarkListTriangles — parallel oracle, listing path.
+func BenchmarkListTriangles(b *testing.B) {
+	b.Run("seq", benchListTriangles(1))
+	b.Run("par", benchListTriangles(0))
+}
+
+// BenchmarkCountTriangles — parallel oracle, streaming-count path
+// (0 allocs/op on the warmed scratch).
+func BenchmarkCountTriangles(b *testing.B) {
+	b.Run("seq", benchCountTriangles(1))
+	b.Run("par", benchCountTriangles(0))
+}
+
+// BenchmarkSweep — the expt sweep runner, sequential vs cell-parallel.
+func BenchmarkSweep(b *testing.B) {
+	b.Run("seq", benchSweep(1))
+	b.Run("par", benchSweep(0))
+}
+
 // BenchmarkEngineParallel — substrate bench: parallel vs sequential engine
 // on the Theorem-2 lister (see BenchmarkE5Listing for the sequential run).
 func BenchmarkEngineParallel(b *testing.B) {

@@ -1,0 +1,75 @@
+package repro
+
+// Machine-readable perf trajectory. TestEmitOracleBenchJSON regenerates
+// BENCH_oracle.json from the oracle and sweep-runner benchmarks so each PR
+// can record before/after numbers in a diffable form:
+//
+//	EMIT_BENCH_JSON=1 go test -run TestEmitOracleBenchJSON -count=1 .
+//
+// The committed file holds the numbers from the machine that last
+// regenerated it; compare entries only within one file (or one machine).
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+type benchEntry struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	TrianglesPerSec float64 `json:"triangles_per_sec,omitempty"`
+	CellsPerSec     float64 `json:"cells_per_sec,omitempty"`
+}
+
+type benchReport struct {
+	GoVersion  string       `json:"go_version"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Entries    []benchEntry `json:"entries"`
+}
+
+func TestEmitOracleBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH_JSON") == "" {
+		t.Skip("set EMIT_BENCH_JSON=1 to regenerate BENCH_oracle.json")
+	}
+	rep := benchReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bench := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ListTriangles/seq", benchListTriangles(1)},
+		{"ListTriangles/par", benchListTriangles(0)},
+		{"CountTriangles/seq", benchCountTriangles(1)},
+		{"CountTriangles/par", benchCountTriangles(0)},
+		{"Sweep/seq", benchSweep(1)},
+		{"Sweep/par", benchSweep(0)},
+	} {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", bench.name)
+		}
+		rep.Entries = append(rep.Entries, benchEntry{
+			Name:            bench.name,
+			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:     r.AllocsPerOp(),
+			TrianglesPerSec: r.Extra["triangles/sec"],
+			CellsPerSec:     r.Extra["cells/sec"],
+		})
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_oracle.json", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_oracle.json with %d entries", len(rep.Entries))
+}

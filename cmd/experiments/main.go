@@ -38,6 +38,7 @@ func run(args []string) error {
 		b        = fs.Int("b", 2, "bandwidth in words per edge per round")
 		quick    = fs.Bool("quick", false, "smoke sizes")
 		parallel = fs.Bool("parallel", false, "run node state machines on all CPUs")
+		workers  = fs.Int("workers", 0, "sweep-cell worker pool size (0 = all CPUs, 1 = sequential); tables are byte-identical for every value")
 		csvDir   = fs.String("csv", "", "also write one CSV per experiment into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,7 +50,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := expt.Config{Seed: *seed, Bandwidth: *b, Quick: *quick, Parallel: *parallel}
+	cfg := expt.Config{Seed: *seed, Bandwidth: *b, Quick: *quick, Parallel: *parallel, Workers: *workers}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))

@@ -33,8 +33,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if int(cres.Count) != graph.CountTriangles(g) {
-			log.Fatalf("count %d disagrees with oracle %d", cres.Count, graph.CountTriangles(g))
+		oracleCount := graph.CountTriangles(g)
+		if int(cres.Count) != oracleCount {
+			log.Fatalf("count %d disagrees with oracle %d", cres.Count, oracleCount)
 		}
 
 		lres, err := core.ListAllTriangles(g, core.ListerOptions{}, sim.Config{Seed: int64(i + 50)})

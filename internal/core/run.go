@@ -103,12 +103,22 @@ func VerifyOneSided(g *graph.Graph, res Result) error {
 }
 
 // VerifyListing checks that the run listed T(G) completely (and one-sided).
+// The oracle pass runs sequentially: verification is routinely called from
+// already-parallel sweep cells, where a nested GOMAXPROCS-wide oracle would
+// oversubscribe the CPU. Callers that hold a triangle list (e.g. from a
+// worker-bounded OracleScratch) should use VerifyListingAgainst instead.
 func VerifyListing(g *graph.Graph, res Result) error {
+	s := graph.OracleScratch{Workers: 1}
+	return VerifyListingAgainst(g, s.ListTriangles(g), res)
+}
+
+// VerifyListingAgainst is VerifyListing with a caller-supplied ground-truth
+// triangle list, so one oracle pass can serve several checks.
+func VerifyListingAgainst(g *graph.Graph, truth []graph.Triangle, res Result) error {
 	if err := VerifyOneSided(g, res); err != nil {
 		return err
 	}
-	truth := graph.NewTriangleSet(graph.ListTriangles(g))
-	for t := range truth {
+	for _, t := range truth {
 		if !res.Union.Has(t) {
 			return fmt.Errorf("triangle %v of G missing from output (got %d of %d)", t, len(res.Union), len(truth))
 		}
@@ -117,12 +127,20 @@ func VerifyListing(g *graph.Graph, res Result) error {
 }
 
 // VerifyFinding checks the finding contract: one-sided outputs, and a
-// nonempty output whenever G has a triangle.
+// nonempty output whenever G has a triangle. Like VerifyListing, the oracle
+// count runs sequentially; callers that already know |T(G)| should use
+// VerifyFindingWithCount.
 func VerifyFinding(g *graph.Graph, res Result) error {
+	s := graph.OracleScratch{Workers: 1}
+	return VerifyFindingWithCount(g, s.CountTriangles(g), res)
+}
+
+// VerifyFindingWithCount is VerifyFinding with a caller-supplied |T(G)|.
+func VerifyFindingWithCount(g *graph.Graph, triangles int, res Result) error {
 	if err := VerifyOneSided(g, res); err != nil {
 		return err
 	}
-	if graph.CountTriangles(g) > 0 && len(res.Union) == 0 {
+	if triangles > 0 && len(res.Union) == 0 {
 		return fmt.Errorf("G has triangles but none was found")
 	}
 	return nil

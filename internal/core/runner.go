@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Runner executes many (algorithm, seed) runs over one graph while reusing
+// the expensive state between them: engines come from a sim.EnginePool
+// (Engine.Reset instead of reallocation) and node slices from an internal
+// pool. It is safe for concurrent use, so sweep workers can share one Runner
+// per graph; each concurrent borrower costs one engine allocation total.
+//
+// Results are identical to the one-shot RunSingle/RunSequence functions for
+// the same seed: a run is fully determined by (graph, config, nodes, seed),
+// and Engine.Reset restores exactly that starting state.
+type Runner struct {
+	g    *graph.Graph
+	pool *sim.EnginePool
+
+	nodeBufs sync.Pool // *[]sim.Node, len g.N()
+}
+
+// NewRunner returns a Runner over g with the given engine configuration.
+// The config's Seed is ignored; each run names its own.
+func NewRunner(g *graph.Graph, cfg sim.Config) *Runner {
+	return &Runner{g: g, pool: sim.NewEnginePool(g, cfg)}
+}
+
+// Graph returns the graph this Runner executes over.
+func (r *Runner) Graph() *graph.Graph { return r.g }
+
+// RunSingle executes a single-schedule algorithm, like the package-level
+// RunSingle but with pooled engine and node state.
+func (r *Runner) RunSingle(sched *sim.Schedule, mk func(id int) sim.Node, seed int64) (Result, error) {
+	nodes := r.nodes()
+	for v := range nodes {
+		nodes[v] = mk(v)
+	}
+	return r.run(nodes, TotalRounds(sched), seed)
+}
+
+// RunSequence executes a segment sequence (e.g. the Theorem-1 finder's
+// repeated A1;A3), like the package-level RunSequence but pooled.
+func (r *Runner) RunSequence(segs []Segment, seed int64) (Result, error) {
+	if len(segs) == 0 {
+		return Result{}, fmt.Errorf("core: empty segment sequence")
+	}
+	nodes := r.nodes()
+	for v := range nodes {
+		nodes[v] = NewSequenceNode(segs, v)
+	}
+	return r.run(nodes, SequenceRounds(segs), seed)
+}
+
+func (r *Runner) nodes() []sim.Node {
+	if buf, ok := r.nodeBufs.Get().(*[]sim.Node); ok {
+		return *buf
+	}
+	return make([]sim.Node, r.g.N())
+}
+
+func (r *Runner) run(nodes []sim.Node, rounds int, seed int64) (Result, error) {
+	eng, err := r.pool.Get(nodes, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	eng.Run(rounds)
+	res := Result{
+		Outputs:         eng.Outputs(),
+		Union:           eng.OutputUnion(),
+		Metrics:         eng.Metrics(),
+		ScheduledRounds: rounds,
+	}
+	pend := eng.PendingWords()
+	r.pool.Put(eng)
+	clear(nodes) // drop node references before pooling the slice
+	r.nodeBufs.Put(&nodes)
+	if pend != 0 {
+		return Result{}, fmt.Errorf("core: %d words still queued after scheduled %d rounds (phase budget bug)", pend, rounds)
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// TestRunnerMatchesRunSingle pins the Runner's reuse machinery to the
+// one-shot path: for every seed, identical Result.
+func TestRunnerMatchesRunSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Gnp(28, 0.4, rng)
+	cfg := sim.Config{Mode: sim.ModeCONGEST}
+	sched, mk := baseline.NewTwoHop(g.N(), 2, g.MaxDegree(), baseline.TwoHopGlobal)
+	r := core.NewRunner(g, cfg)
+	for seed := int64(0); seed < 4; seed++ {
+		got, err := r.RunSingle(sched, mk, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneCfg := cfg
+		oneCfg.Seed = seed
+		want, err := core.RunSingle(g, sched, mk, oneCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: pooled RunSingle diverges from one-shot", seed)
+		}
+	}
+}
+
+// TestRunnerMatchesRunSequence does the same for segment sequences (the
+// Theorem-2 lister), across repeated pooled runs.
+func TestRunnerMatchesRunSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Gnp(24, 0.5, rng)
+	segs, err := core.NewLister(g.N(), 2, core.ListerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{Mode: sim.ModeCONGEST}
+	r := core.NewRunner(g, cfg)
+	for seed := int64(10); seed < 13; seed++ {
+		got, err := r.RunSequence(segs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneCfg := cfg
+		oneCfg.Seed = seed
+		want, err := core.RunSequence(g, segs, oneCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: pooled RunSequence diverges from one-shot", seed)
+		}
+	}
+}
+
+// TestRunnerConcurrent shares one Runner across goroutines under -race;
+// every run must still match the one-shot result for its seed.
+func TestRunnerConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Gnp(20, 0.4, rng)
+	cfg := sim.Config{}
+	sched, mk := baseline.NewTwoHop(g.N(), 2, g.MaxDegree(), baseline.TwoHopGlobal)
+	want := make([]core.Result, 4)
+	for seed := range want {
+		oneCfg := cfg
+		oneCfg.Seed = int64(seed)
+		res, err := core.RunSingle(g, sched, mk, oneCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = res
+	}
+	r := core.NewRunner(g, cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				seed := (w + i) % len(want)
+				got, err := r.RunSingle(sched, mk, int64(seed))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, want[seed]) {
+					t.Errorf("worker %d: seed %d diverges", w, seed)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -63,8 +63,13 @@ func runAbHash(cfg Config) (*Table, error) {
 		Cols:       []string{"buckets", "rounds", "recall"},
 	}
 	w := int(math.Sqrt(float64(n))) * 2 // heavy edge in w triangles
-	for _, eps := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
-		p := core.Params{N: n, Eps: eps, B: cfg.bandwidth()}
+	epses := []float64{0.2, 0.35, 0.5, 0.65, 0.8}
+	type hashRow struct {
+		buckets int
+		vals    map[string]float64
+	}
+	rows, err := runCells(cfg, len(epses), func(i int) (hashRow, bool, error) {
+		p := core.Params{N: n, Eps: epses[i], B: cfg.bandwidth()}
 		buckets := p.A2Buckets()
 		hits := 0
 		var rounds int
@@ -73,14 +78,14 @@ func runAbHash(cfg Config) (*Table, error) {
 			g := graph.PlantedHeavyEdge(n, w, 0.05, rng)
 			sched, mk, err := core.NewA2(p)
 			if err != nil {
-				return nil, err
+				return hashRow{}, false, err
 			}
 			res, err := core.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+int64(trial), sim.ModeCONGEST))
 			if err != nil {
-				return nil, err
+				return hashRow{}, false, err
 			}
 			if err := core.VerifyOneSided(g, res); err != nil {
-				return nil, err
+				return hashRow{}, false, err
 			}
 			rounds = res.ScheduledRounds
 			// Recall of the planted heavy triangles {0, 1, apex}.
@@ -94,11 +99,17 @@ func runAbHash(cfg Config) (*Table, error) {
 				hits++
 			}
 		}
-		t.AddPoint(buckets, map[string]float64{
+		return hashRow{buckets: buckets, vals: map[string]float64{
 			"buckets": float64(buckets),
 			"rounds":  float64(rounds),
 			"recall":  float64(hits) / float64(trials),
-		})
+		}}, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddPoint(r.buckets, r.vals)
 	}
 	t.Finalize(nil)
 	t.Notes = append(t.Notes,
@@ -118,9 +129,9 @@ func runAbRoute(cfg Config) (*Table, error) {
 		Metric:     "directRounds",
 		Cols:       []string{"directRounds", "relayRounds", "gnpDirect", "gnpRelay"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		if n < 16 {
-			continue
+			return nil, nil // skipped row
 		}
 		seed := cfg.Seed + 900 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
@@ -159,7 +170,10 @@ func runAbRoute(cfg Config) (*Table, error) {
 			}
 			vals[rc.key] = float64(res.ScheduledRounds)
 		}
-		t.AddPoint(n, vals)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(nil)
 	t.Notes = append(t.Notes,
@@ -195,7 +209,17 @@ func runAbGood(cfg Config) (*Table, error) {
 	}
 	want := graph.NewTriangleSet(graph.TrianglesInDeltaX(g, x))
 	rFull := p.GoodThreshold()
-	for _, frac := range []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0} {
+	// All cells run over the same graph, so they share one pooled Runner:
+	// sequential sweeps reuse a single engine across fracs, parallel sweeps
+	// one engine per worker.
+	runner := core.NewRunner(g, cfg.simCfg(0, sim.ModeCONGEST))
+	fracs := []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}
+	type goodRow struct {
+		frac float64
+		vals map[string]float64
+	}
+	rows, err := runCells(cfg, len(fracs), func(i int) (goodRow, bool, error) {
+		frac := fracs[i]
 		r := rFull * frac
 		if r < 1 {
 			r = 1
@@ -204,12 +228,12 @@ func runAbGood(cfg Config) (*Table, error) {
 			R:   r,
 			InX: func(id int) bool { return x.Has(id) },
 		})
-		res, err := core.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+33, sim.ModeCONGEST))
+		res, err := runner.RunSingle(sched, mk, cfg.Seed+33)
 		if err != nil {
-			return nil, err
+			return goodRow{}, false, err
 		}
 		if err := core.VerifyOneSided(g, res); err != nil {
-			return nil, err
+			return goodRow{}, false, err
 		}
 		covered := 0
 		for tr := range want {
@@ -221,12 +245,18 @@ func runAbGood(cfg Config) (*Table, error) {
 		if len(want) > 0 {
 			coverage = float64(covered) / float64(len(want))
 		}
-		t.AddPoint(int(frac*100), map[string]float64{
+		return goodRow{frac: frac, vals: map[string]float64{
 			"rFrac100": frac * 100,
 			"r":        r,
 			"rounds":   float64(res.ScheduledRounds),
 			"coverage": coverage,
-		})
+		}}, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		t.AddPoint(int(r.frac*100), r.vals)
 	}
 	t.Finalize(nil)
 	t.Notes = append(t.Notes,

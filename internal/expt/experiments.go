@@ -25,6 +25,11 @@ type Config struct {
 	Quick bool
 	// Parallel runs node state machines on all CPUs.
 	Parallel bool
+	// Workers bounds the sweep-cell worker pool: independent (algorithm,
+	// size, seed) cells run concurrently, with row order and every value
+	// byte-identical to a sequential sweep. 0 selects GOMAXPROCS; 1 forces
+	// sequential execution.
+	Workers int
 }
 
 func (c Config) sizes() []int {
@@ -119,7 +124,7 @@ func runE1(cfg Config) (*Table, error) {
 		Metric:     "rounds",
 		Cols:       []string{"rounds", "triangles", "totalBits", "maxRecvBits"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
 		g := graph.Gnp(n, 0.5, rng)
 		sched, mk, err := baseline.NewDolev(g, cfg.bandwidth(), baseline.DolevCubeRoot)
@@ -134,12 +139,15 @@ func runE1(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("e1 n=%d: %w", n, err)
 		}
 		_, maxBits := res.Metrics.MaxBitsReceived()
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"rounds":      float64(res.ScheduledRounds),
 			"triangles":   float64(len(res.Union)),
 			"totalBits":   float64(res.Metrics.TotalBits()),
 			"maxRecvBits": float64(maxBits),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(func(n int) float64 {
 		return math.Cbrt(float64(n)) * math.Pow(math.Log2(float64(n)), 2.0/3.0)
@@ -158,9 +166,9 @@ func runE2(cfg Config) (*Table, error) {
 		Metric:     "rounds",
 		Cols:       []string{"rounds", "dmax", "triangles", "totalBits"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		if n <= d {
-			continue
+			return nil, nil // skipped row
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(i)))
 		g := graph.NearRegular(n, d, rng)
@@ -175,12 +183,15 @@ func runE2(cfg Config) (*Table, error) {
 		if err := core.VerifyListing(g, res); err != nil {
 			return nil, fmt.Errorf("e2 n=%d: %w", n, err)
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"rounds":    float64(res.ScheduledRounds),
 			"dmax":      float64(g.MaxDegree()),
 			"triangles": float64(len(res.Union)),
 			"totalBits": float64(res.Metrics.TotalBits()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(func(n int) float64 {
 		v := float64(d*d*d) / float64(n)
@@ -229,7 +240,7 @@ func runE4(cfg Config) (*Table, error) {
 		Metric:     "rounds",
 		Cols:       []string{"rounds", "found", "plantedFound", "bipartiteFound", "totalBits"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 300 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -259,13 +270,16 @@ func runE4(cfg Config) (*Table, error) {
 		if bFound {
 			return nil, fmt.Errorf("e4 n=%d: impossible — triangle reported in a bipartite graph", n)
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"rounds":         float64(res.ScheduledRounds),
 			"found":          b2f(found),
 			"plantedFound":   b2f(pFound),
 			"bipartiteFound": b2f(bFound),
 			"totalBits":      float64(res.Metrics.TotalBits()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// With the pure exponent n^eps = n^{1/3} (no log correction), one
 	// repetition costs O(n^{2/3} (log n)^{3/2}): A1 is n^{2/3} and A3 is
@@ -290,7 +304,7 @@ func runE5(cfg Config) (*Table, error) {
 		Metric:     "rounds",
 		Cols:       []string{"rounds", "reps", "triangles", "complete", "totalBits"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 400 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -305,13 +319,16 @@ func runE5(cfg Config) (*Table, error) {
 		if err := core.VerifyOneSided(g, res); err != nil {
 			return nil, err
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"rounds":    float64(res.ScheduledRounds),
 			"reps":      float64(core.ListerOptions{}.Repetitions(n)),
 			"triangles": float64(len(res.Union)),
 			"complete":  complete,
 			"totalBits": float64(res.Metrics.TotalBits()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// With the pure exponent n^eps = n^{1/2}, one repetition costs
 	// O(n^{3/4} (log n)^{3/2}) (A3's r * iterations term) and there are
@@ -335,7 +352,7 @@ func runE6(cfg Config) (*Table, error) {
 		Metric:     "bcastTwoHopRounds",
 		Cols:       []string{"druckerLB", "bcastTwoHopRounds", "bcastA1Rounds", "a1HeavyFound"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 500 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -366,12 +383,15 @@ func runE6(cfg Config) (*Table, error) {
 		if float64(res.ScheduledRounds) < dlb {
 			return nil, fmt.Errorf("e6 n=%d: broadcast lister beat the conditional LB shape — constants need review", n)
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"druckerLB":         dlb,
 			"bcastTwoHopRounds": float64(res.ScheduledRounds),
 			"bcastA1Rounds":     float64(res1.ScheduledRounds),
 			"a1HeavyFound":      b2f(len(res1.Union) > 0),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(func(n int) float64 {
 		ln := math.Log(float64(n))
@@ -393,7 +413,7 @@ func runE7(cfg Config) (*Table, error) {
 		Cols: []string{"PTw", "Tw", "bitsRecvW", "infoFloor", "rivinFloor",
 			"roundFloor", "measuredRounds", "lbShape"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 600 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -409,7 +429,7 @@ func runE7(cfg Config) (*Table, error) {
 		if err := rep.Check(); err != nil {
 			return nil, fmt.Errorf("e7 n=%d: %w", n, err)
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"PTw":            float64(rep.PTW),
 			"Tw":             float64(rep.TW),
 			"bitsRecvW":      float64(rep.BitsReceivedW),
@@ -418,7 +438,10 @@ func runE7(cfg Config) (*Table, error) {
 			"roundFloor":     rep.RoundFloor,
 			"measuredRounds": float64(res.ScheduledRounds),
 			"lbShape":        lower.PredictedListingRoundLB(n),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(func(n int) float64 { return math.Pow(float64(n), 4.0/3.0) })
 	t.Notes = append(t.Notes,
@@ -435,7 +458,7 @@ func runE8(cfg Config) (*Table, error) {
 		Metric:     "maxNodeBits",
 		Cols:       []string{"maxNodeBits", "minInfoFloor", "rounds", "lbShape"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 700 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -458,12 +481,15 @@ func runE8(cfg Config) (*Table, error) {
 				minFloor = r.InfoFloorBits
 			}
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"maxNodeBits":  float64(maxBits),
 			"minInfoFloor": float64(minFloor),
 			"rounds":       float64(res.ScheduledRounds),
 			"lbShape":      lower.PredictedLocalRoundLB(n),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(func(n int) float64 { return float64(n) * float64(n) })
 	return t, nil
@@ -478,7 +504,7 @@ func runE9(cfg Config) (*Table, error) {
 		Metric:     "rounds",
 		Cols:       []string{"rounds", "dmax", "triangles"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 800 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -490,11 +516,14 @@ func runE9(cfg Config) (*Table, error) {
 		if err := core.VerifyListing(g, res); err != nil {
 			return nil, fmt.Errorf("e9 n=%d: %w", n, err)
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"rounds":    float64(res.ScheduledRounds),
 			"dmax":      float64(g.MaxDegree()),
 			"triangles": float64(len(res.Union)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(func(n int) float64 { return float64(n) / 2 })
 	return t, nil

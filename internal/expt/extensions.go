@@ -23,7 +23,7 @@ func runExtCount(cfg Config) (*Table, error) {
 		Metric:     "countRounds",
 		Cols:       []string{"countRounds", "listerRounds", "count", "oracleCount"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 1000 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -39,12 +39,15 @@ func runExtCount(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"countRounds":  float64(cres.Rounds),
 			"listerRounds": float64(lres.ScheduledRounds),
 			"count":        float64(cres.Count),
 			"oracleCount":  float64(oracle),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(func(n int) float64 { return float64(n) / 2 }) // d_max + D ~ n/2 on G(n,1/2)
 	t.Notes = append(t.Notes,
@@ -65,7 +68,7 @@ func runExtTester(cfg Config) (*Table, error) {
 		Metric:     "finderRounds",
 		Cols:       []string{"testerRounds", "finderRounds", "testerDetected", "bipartiteFalsePos"},
 	}
-	for i, n := range cfg.sizes() {
+	err := sweepSizes(t, cfg, func(i, n int) (map[string]float64, error) {
 		seed := cfg.Seed + 1100 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
@@ -91,12 +94,15 @@ func runExtTester(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddPoint(n, map[string]float64{
+		return map[string]float64{
 			"testerRounds":      float64(tres.ScheduledRounds),
 			"finderRounds":      float64(fres.ScheduledRounds),
 			"testerDetected":    b2f(det),
 			"bipartiteFalsePos": b2f(fp),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Finalize(nil)
 	t.Notes = append(t.Notes,

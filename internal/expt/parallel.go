@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep parallelism. Every sweep cell — one (algorithm, size, seed) or one
+// ablation x-value — derives all of its randomness from its own index, so
+// cells are independent and can run concurrently. runCells fans them across
+// a bounded worker pool and returns the results in cell-index order, which
+// is what makes a Workers>1 table byte-identical to the sequential one (see
+// DESIGN.md, "sweep determinism contract").
+
+// workerCount resolves Config.Workers: 0 means GOMAXPROCS, anything else is
+// taken literally (1 forces the sequential path).
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+type cellResult[T any] struct {
+	val T
+	ok  bool
+	err error
+}
+
+// runCells evaluates fn(0..count-1) across the config's worker pool and
+// returns the kept results in index order. fn reports ok=false to skip a
+// cell. When cells fail, the error of the lowest-indexed failing cell is
+// returned — the same one a sequential sweep would hit first.
+func runCells[T any](cfg Config, count int, fn func(i int) (T, bool, error)) ([]T, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	outs := make([]cellResult[T], count)
+	workers := cfg.workerCount()
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			v, ok, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = cellResult[T]{val: v, ok: ok}
+		}
+	} else {
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					// Stop starting cells once one has failed; in-flight
+					// cells finish. The cursor hands out indexes in
+					// ascending order, so every unstarted (skipped) cell is
+					// higher-indexed than every recorded one, and the
+					// lowest-indexed recorded error below is exactly the
+					// error a sequential sweep would return.
+					if failed.Load() {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= count {
+						return
+					}
+					v, ok, err := fn(i)
+					outs[i] = cellResult[T]{val: v, ok: ok, err: err}
+					if err != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for i := range outs {
+			if outs[i].err != nil {
+				return nil, outs[i].err
+			}
+		}
+	}
+	kept := make([]T, 0, count)
+	for i := range outs {
+		if outs[i].ok {
+			kept = append(kept, outs[i].val)
+		}
+	}
+	return kept, nil
+}
+
+// sizeRow is one sweep row: a network size and its measured columns.
+type sizeRow struct {
+	n    int
+	vals map[string]float64
+}
+
+// sweepSizes runs one cell per configured network size — fn returning a nil
+// map skips the row — and appends the surviving rows to t in size order,
+// regardless of worker count or completion order.
+func sweepSizes(t *Table, cfg Config, fn func(i, n int) (map[string]float64, error)) error {
+	sizes := cfg.sizes()
+	rows, err := runCells(cfg, len(sizes), func(i int) (sizeRow, bool, error) {
+		vals, err := fn(i, sizes[i])
+		if err != nil || vals == nil {
+			return sizeRow{}, false, err
+		}
+		return sizeRow{n: sizes[i], vals: vals}, true, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		t.AddPoint(r.n, r.vals)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCellsOrderAndSkips checks the fan-out helper directly: results come
+// back in cell order with skips removed, for every worker count.
+func TestRunCellsOrderAndSkips(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		cfg := Config{Workers: workers}
+		got, err := runCells(cfg, 9, func(i int) (int, bool, error) {
+			return i * i, i%3 != 0, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{1, 4, 16, 25, 49, 64}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %v, want %v", workers, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: %v, want %v", workers, got, want)
+			}
+		}
+	}
+	if out, err := runCells(Config{}, 0, func(int) (int, bool, error) { return 0, true, nil }); err != nil || out != nil {
+		t.Fatalf("empty sweep: %v, %v", out, err)
+	}
+}
+
+// TestRunCellsFirstErrorByIndex: when several cells fail, the lowest-indexed
+// error is reported — the one a sequential sweep would hit first.
+func TestRunCellsFirstErrorByIndex(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		_, err := runCells(Config{Workers: workers}, 8, func(i int) (int, bool, error) {
+			switch i {
+			case 2:
+				return 0, false, errLow
+			case 6:
+				return 0, false, errHigh
+			}
+			return i, true, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestRunCellsUsesAllWorkers sanity-checks that the pool actually fans out.
+func TestRunCellsUsesAllWorkers(t *testing.T) {
+	var peak, cur atomic.Int32
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := runCells(Config{Workers: 4}, 4, func(i int) (int, bool, error) {
+			if n := cur.Add(1); n > peak.Load() {
+				peak.Store(n)
+			}
+			<-block
+			cur.Add(-1)
+			return i, true, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	// All four cells must be in flight before any finishes.
+	for peak.Load() < 4 {
+	}
+	close(block)
+	<-done
+}
+
+// TestParallelSweepByteIdentical is the sweep determinism contract: a
+// Workers>1 run renders (text and CSV) byte-identically to Workers=1, for a
+// spread of experiments covering plain sweeps, skipped rows (e2), non-size
+// x-axes (ab-hash) and the pooled-runner path (ab-good).
+func TestParallelSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs experiments twice")
+	}
+	for _, id := range []string{"e2", "e9", "ab-hash", "ab-good", "ext-test"} {
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(workers int) (string, string) {
+				// Size 10 exercises the skipped-row path (e2 drops n <= 12).
+				cfg := Config{Quick: true, Seed: 7, Sizes: []int{10, 20, 26}, Workers: workers}
+				tbl, err := e.Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var txt, csv bytes.Buffer
+				if err := tbl.Render(&txt); err != nil {
+					t.Fatal(err)
+				}
+				if err := tbl.WriteCSV(&csv); err != nil {
+					t.Fatal(err)
+				}
+				return txt.String(), csv.String()
+			}
+			seqTxt, seqCSV := render(1)
+			for _, workers := range []int{2, 4} {
+				parTxt, parCSV := render(workers)
+				if parTxt != seqTxt {
+					t.Fatalf("workers=%d: rendered table differs\n--- seq ---\n%s--- par ---\n%s", workers, seqTxt, parTxt)
+				}
+				if parCSV != seqCSV {
+					t.Fatalf("workers=%d: CSV differs", workers)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,506 @@
+package graph
+
+import (
+	"cmp"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel rank-ordered triangle enumeration.
+//
+// The oracle keeps the degree-ordered compact forward algorithm (O(m^{3/2})
+// work): orient every edge from lower to higher rank, where rank sorts
+// vertices by (degree desc, id asc), then intersect forward adjacencies.
+// This file makes that hot path scale:
+//
+//   - The oriented adjacency is a second CSR slab whose targets are RANKS,
+//     built so each row is ascending without a per-row sort (sources are
+//     visited in rank order, so appends arrive pre-sorted).
+//   - Enumeration is sharded over source vertices: the rank-ordered source
+//     list is cut into contiguous chunks balanced by an intersection-work
+//     estimate, workers drain chunks from an atomic cursor, and each chunk
+//     writes its own buffer. Concatenating the chunk buffers in chunk order
+//     reproduces the sequential output bit for bit, for any worker count.
+//   - Each pairwise intersection picks one of three kernels: a linear merge
+//     for similar lengths, a galloping search when one side is much shorter,
+//     and a packed bitmap probe for high-degree rows. All three emit the
+//     common elements in ascending rank order, so the kernel choice never
+//     affects the output.
+//   - OracleScratch owns every buffer (rank arrays, forward CSR, chunk
+//     buffers, per-worker bitmaps), so repeated calls on one graph are
+//     allocation-free at steady state, and CountTriangles streams counts
+//     without ever materializing a []Triangle.
+type OracleScratch struct {
+	// Workers bounds the enumeration worker pool: 0 selects GOMAXPROCS,
+	// 1 forces the sequential path. The output is identical for every value.
+	Workers int
+
+	deg   []int32 // vertex degree, precomputed once per call
+	order []int32 // vertices by (degree desc, id asc); order[r] = vertex of rank r
+	rank  []int32 // inverse of order
+	foffs []int32 // forward CSR offsets, indexed by vertex id
+	fill  []int32
+	ftgts []int32 // forward CSR targets: RANKS, ascending per row
+
+	chunkEnds []int32      // chunk c covers source positions [chunkEnds[c-1], chunkEnds[c])
+	bufs      [][]Triangle // per-chunk listing output
+	counts    []int64      // per-chunk streaming counts
+
+	bitmaps [][]uint64 // per-worker rank-space bitmaps (zero between uses)
+	wbufs   [][]int32  // per-worker intersection result buffers
+	spawn   []func()   // pre-built per-worker thunks: go spawn[w]() allocates nothing
+
+	out []Triangle // reused backing for ListTriangles results
+
+	g       *Graph
+	listing bool
+	cursor  atomic.Int32
+	wg      sync.WaitGroup
+}
+
+// NewOracleScratch returns an empty scratch. The zero value is also ready to
+// use.
+func NewOracleScratch() *OracleScratch { return &OracleScratch{} }
+
+// ListTriangles enumerates T(G) exactly. The returned slice is backed by the
+// scratch and is valid until the next call on this scratch; copy it to keep
+// it. The output order is the canonical rank order: identical for every
+// Workers setting (and to the package-level ListTriangles).
+func (s *OracleScratch) ListTriangles(g *Graph) []Triangle {
+	s.prepare(g, true)
+	s.run()
+	out := s.out[:0]
+	for _, buf := range s.bufs[:len(s.chunkEnds)] {
+		out = append(out, buf...)
+	}
+	s.out = out
+	return out
+}
+
+// CountTriangles returns |T(G)| by streaming per-chunk counts; no []Triangle
+// is ever materialized, and repeated calls on a warmed scratch allocate
+// nothing.
+func (s *OracleScratch) CountTriangles(g *Graph) int {
+	s.prepare(g, false)
+	s.run()
+	total := int64(0)
+	for _, c := range s.counts[:len(s.chunkEnds)] {
+		total += c
+	}
+	return int(total)
+}
+
+// ListTriangles enumerates T(G) exactly using the degree-ordered compact
+// forward algorithm, which runs in O(m^{3/2}) work, sharded across CPUs. It
+// is the centralized ground-truth oracle against which every distributed
+// algorithm is verified.
+func ListTriangles(g *Graph) []Triangle {
+	var s OracleScratch
+	return s.ListTriangles(g)
+}
+
+// CountTriangles returns |T(G)| without materializing the list.
+func CountTriangles(g *Graph) int {
+	var s OracleScratch
+	return s.CountTriangles(g)
+}
+
+// Kernel selection thresholds. bitmapMinDeg is the forward degree at which a
+// source row switches to the packed-bitmap kernel (the O(len a) build+clear
+// amortizes over len(a) intersections). gallopRatio is the length skew at
+// which galloping binary search beats the linear merge.
+const (
+	bitmapMinDeg    = 128
+	gallopRatio     = 16
+	seqWorkCutoff   = 1 << 14
+	chunksPerWorker = 8
+)
+
+func (s *OracleScratch) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// prepare builds the rank order, the forward CSR and the chunk plan.
+func (s *OracleScratch) prepare(g *Graph, listing bool) {
+	n := g.N()
+	s.g = g
+	s.listing = listing
+	s.deg = resizeI32(s.deg, n)
+	s.order = resizeI32(s.order, n)
+	s.rank = resizeI32(s.rank, n)
+	s.foffs = resizeI32(s.foffs, n+1)
+	s.fill = resizeI32(s.fill, n)
+	deg := s.deg
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(v))
+		s.order[v] = int32(v)
+	}
+	slices.SortFunc(s.order, func(a, b int32) int {
+		if deg[a] != deg[b] {
+			return cmp.Compare(deg[b], deg[a])
+		}
+		return cmp.Compare(a, b)
+	})
+	for r, v := range s.order {
+		s.rank[v] = int32(r)
+	}
+	// Forward CSR: row v holds the ranks of v's higher-ranked neighbors.
+	// Visiting sources in rank order appends each row pre-sorted.
+	foffs := s.foffs
+	clear(foffs)
+	rank := s.rank
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				foffs[v+1]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		foffs[v+1] += foffs[v]
+	}
+	s.ftgts = resizeI32(s.ftgts, int(foffs[n]))
+	fill := s.fill
+	clear(fill)
+	for r := 0; r < n; r++ {
+		u := s.order[r]
+		for _, w := range g.Neighbors(int(u)) {
+			if rank[w] < int32(r) {
+				s.ftgts[foffs[w]+fill[w]] = int32(r)
+				fill[w]++
+			}
+		}
+	}
+	// Chunk plan: contiguous source ranges balanced by the quadratic work
+	// estimate la*(la+1) (la = forward degree). The output is invariant to
+	// the chunking; only load balance depends on it.
+	totalWork := int64(0)
+	for r := 0; r < n; r++ {
+		u := s.order[r]
+		la := int64(foffs[u+1] - foffs[u])
+		totalWork += la * (la + 1)
+	}
+	workers := s.workers()
+	s.chunkEnds = s.chunkEnds[:0]
+	if n == 0 {
+		return
+	}
+	if workers <= 1 || totalWork < seqWorkCutoff {
+		s.chunkEnds = append(s.chunkEnds, int32(n))
+		return
+	}
+	nchunks := min(workers*chunksPerWorker, n)
+	target := (totalWork + int64(nchunks) - 1) / int64(nchunks)
+	acc := int64(0)
+	for r := 0; r < n; r++ {
+		u := s.order[r]
+		la := int64(foffs[u+1] - foffs[u])
+		acc += la * (la + 1)
+		if acc >= target {
+			s.chunkEnds = append(s.chunkEnds, int32(r+1))
+			acc = 0
+		}
+	}
+	if len(s.chunkEnds) == 0 || s.chunkEnds[len(s.chunkEnds)-1] != int32(n) {
+		s.chunkEnds = append(s.chunkEnds, int32(n))
+	}
+}
+
+// run drains the chunk plan, in place for a single chunk or across a bounded
+// worker pool otherwise. Worker thunks are pre-built so spawning is
+// allocation-free.
+func (s *OracleScratch) run() {
+	nchunks := len(s.chunkEnds)
+	if nchunks == 0 {
+		return
+	}
+	for len(s.bufs) < nchunks {
+		s.bufs = append(s.bufs, nil)
+	}
+	s.counts = resizeI64(s.counts, nchunks)
+	workers := min(s.workers(), nchunks)
+	for len(s.spawn) < workers {
+		w := len(s.spawn)
+		s.spawn = append(s.spawn, func() { s.runWorker(w) })
+		s.wbufs = append(s.wbufs, nil)
+		s.bitmaps = append(s.bitmaps, nil)
+	}
+	if workers == 1 {
+		for c := 0; c < nchunks; c++ {
+			s.runChunk(c, 0)
+		}
+		return
+	}
+	s.cursor.Store(0)
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.spawn[w]()
+	}
+	s.wg.Wait()
+}
+
+func (s *OracleScratch) runWorker(w int) {
+	defer s.wg.Done()
+	for {
+		c := int(s.cursor.Add(1)) - 1
+		if c >= len(s.chunkEnds) {
+			return
+		}
+		s.runChunk(c, w)
+	}
+}
+
+// bitmap returns worker w's rank-space bitmap, grown to cover the current
+// graph. The all-zero invariant between uses makes growth the only cost.
+func (s *OracleScratch) bitmap(w int) []uint64 {
+	words := (s.g.N() + 63) / 64
+	bm := s.bitmaps[w]
+	if len(bm) >= words {
+		return bm
+	}
+	nb := make([]uint64, words)
+	copy(nb, bm)
+	s.bitmaps[w] = nb
+	return nb
+}
+
+// runChunk enumerates the triangles of one contiguous source range. Sources
+// are visited in rank order and each intersection emits ascending ranks, so
+// the chunk buffer is exactly the sequential algorithm's output restricted
+// to this range.
+func (s *OracleScratch) runChunk(c, w int) {
+	lo := int32(0)
+	if c > 0 {
+		lo = s.chunkEnds[c-1]
+	}
+	hi := s.chunkEnds[c]
+	foffs, ftgts, order := s.foffs, s.ftgts, s.order
+	if s.listing {
+		buf := s.bufs[c][:0]
+		wbuf := s.wbufs[w]
+		for r := lo; r < hi; r++ {
+			u := order[r]
+			a := ftgts[foffs[u]:foffs[u+1]]
+			if len(a) < 2 {
+				continue
+			}
+			if len(a) >= bitmapMinDeg {
+				bm := s.bitmap(w)
+				for _, rw := range a {
+					bm[rw>>6] |= 1 << (rw & 63)
+				}
+				for _, rv := range a {
+					v := order[rv]
+					wbuf = bitmapInto(bm, ftgts[foffs[v]:foffs[v+1]], wbuf[:0])
+					for _, rw := range wbuf {
+						buf = append(buf, NewTriangle(int(u), int(v), int(order[rw])))
+					}
+				}
+				for _, rw := range a {
+					bm[rw>>6] = 0
+				}
+				continue
+			}
+			for _, rv := range a {
+				v := order[rv]
+				wbuf = adaptiveInto(a, ftgts[foffs[v]:foffs[v+1]], wbuf[:0])
+				for _, rw := range wbuf {
+					buf = append(buf, NewTriangle(int(u), int(v), int(order[rw])))
+				}
+			}
+		}
+		s.bufs[c] = buf
+		s.wbufs[w] = wbuf
+		return
+	}
+	count := int64(0)
+	for r := lo; r < hi; r++ {
+		u := order[r]
+		a := ftgts[foffs[u]:foffs[u+1]]
+		if len(a) < 2 {
+			continue
+		}
+		if len(a) >= bitmapMinDeg {
+			bm := s.bitmap(w)
+			for _, rw := range a {
+				bm[rw>>6] |= 1 << (rw & 63)
+			}
+			for _, rv := range a {
+				v := order[rv]
+				count += int64(bitmapCount(bm, ftgts[foffs[v]:foffs[v+1]]))
+			}
+			for _, rw := range a {
+				bm[rw>>6] = 0
+			}
+			continue
+		}
+		for _, rv := range a {
+			v := order[rv]
+			count += int64(adaptiveCount(a, ftgts[foffs[v]:foffs[v+1]]))
+		}
+	}
+	s.counts[c] = count
+}
+
+// --- Intersection kernels ---------------------------------------------
+//
+// Every kernel computes the same set — the common elements of two ascending
+// []int32 runs — and emits it ascending, so they are interchangeable
+// (fuzz-verified against the plain merge in listing_test.go).
+
+// adaptiveInto dispatches on length skew.
+func adaptiveInto(a, b, dst []int32) []int32 {
+	switch {
+	case len(a) > gallopRatio*len(b):
+		return gallopInto(b, a, dst)
+	case len(b) > gallopRatio*len(a):
+		return gallopInto(a, b, dst)
+	default:
+		return mergeInto(a, b, dst)
+	}
+}
+
+func adaptiveCount(a, b []int32) int {
+	switch {
+	case len(a) > gallopRatio*len(b):
+		return gallopCount(b, a)
+	case len(b) > gallopRatio*len(a):
+		return gallopCount(a, b)
+	default:
+		return mergeCount(a, b)
+	}
+}
+
+// mergeInto is the linear two-pointer merge.
+func mergeInto(a, b, dst []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+func mergeCount(a, b []int32) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// gallopInto walks the shorter run and locates each element in the longer
+// one by galloping (exponential probe then binary search), advancing a
+// persistent frontier so the longer run is scanned at most once.
+func gallopInto(short, long, dst []int32) []int32 {
+	j := 0
+	for _, x := range short {
+		j += lowerBoundGallop(long[j:], x)
+		if j >= len(long) {
+			break
+		}
+		if long[j] == x {
+			dst = append(dst, x)
+			j++
+		}
+	}
+	return dst
+}
+
+func gallopCount(short, long []int32) int {
+	j, c := 0, 0
+	for _, x := range short {
+		j += lowerBoundGallop(long[j:], x)
+		if j >= len(long) {
+			break
+		}
+		if long[j] == x {
+			c++
+			j++
+		}
+	}
+	return c
+}
+
+// lowerBoundGallop returns the number of elements of lst strictly below x,
+// probing at exponentially growing offsets before binary searching the
+// bracketed window. O(log d) where d is the returned distance.
+func lowerBoundGallop(lst []int32, x int32) int {
+	if len(lst) == 0 || lst[0] >= x {
+		return 0
+	}
+	lo, hi := 0, 1
+	for hi < len(lst) && lst[hi] < x {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > len(lst) {
+		hi = len(lst)
+	}
+	// Invariant: lst[lo] < x and (hi == len(lst) or lst[hi] >= x).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if lst[mid] < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// bitmapInto probes b against a packed bitmap of the other run.
+func bitmapInto(bm []uint64, b, dst []int32) []int32 {
+	for _, x := range b {
+		if bm[x>>6]>>(uint(x)&63)&1 != 0 {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+func bitmapCount(bm []uint64, b []int32) int {
+	c := 0
+	for _, x := range b {
+		c += int(bm[x>>6] >> (uint(x) & 63) & 1)
+	}
+	return c
+}
+
+// --- small helpers ----------------------------------------------------
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func resizeI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}

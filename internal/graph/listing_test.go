@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// referenceListTriangles is the pre-parallel oracle: rank ordering, forward
+// CSR, single merge kernel, one goroutine. The parallel oracle's contract is
+// bit-identical output (order included) to this, for every worker count.
+func referenceListTriangles(g *Graph) []Triangle {
+	n := g.N()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(int(order[i])), g.Degree(int(order[j]))
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int32, n)
+	for r, v := range order {
+		rank[v] = int32(r)
+	}
+	foffs := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				foffs[v+1]++
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		foffs[v+1] += foffs[v]
+	}
+	ftgts := make([]int32, foffs[n])
+	fill := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				ftgts[foffs[v]+fill[v]] = rank[u]
+				fill[v]++
+			}
+		}
+		slices.Sort(ftgts[foffs[v] : foffs[v]+fill[v]])
+	}
+	var out []Triangle
+	for _, u := range order {
+		a := ftgts[foffs[u]:foffs[u+1]]
+		for _, rv := range a {
+			v := order[rv]
+			b := ftgts[foffs[v]:foffs[v+1]]
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				switch {
+				case a[i] < b[j]:
+					i++
+				case a[i] > b[j]:
+					j++
+				default:
+					out = append(out, NewTriangle(int(u), int(v), int(order[a[i]])))
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// listingTestGraphs covers the three kernel regimes: G(n,p) (merge-
+// dominated), power-law (skewed rows exercising galloping), and clique-mode
+// graphs whose high-degree rows trip the bitmap kernel (forward degree
+// >= bitmapMinDeg needs n comfortably above it).
+func listingTestGraphs(tb testing.TB) map[string]*Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(77))
+	return map[string]*Graph{
+		"gnp-sparse":   Gnp(400, 0.02, rng),
+		"gnp-dense":    Gnp(96, 0.5, rng),
+		"power-law":    BarabasiAlbert(500, 8, rng),
+		"clique":       Complete(2 * bitmapMinDeg),
+		"near-clique":  Gnp(2*bitmapMinDeg, 0.9, rng),
+		"planted":      PlantedHeavyEdge(128, 24, 0.05, rng),
+		"empty":        Empty(50),
+		"single-edge":  mustFromEdges(tb, 3, []Edge{NewEdge(0, 1)}),
+		"zero-vertex":  Empty(0),
+		"ring-chorded": RingWithChords(200, 5, rng),
+	}
+}
+
+func mustFromEdges(tb testing.TB, n int, es []Edge) *Graph {
+	tb.Helper()
+	g, err := FromEdges(n, es)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+// TestParallelListingBitIdentical is the determinism property of the
+// parallel oracle: for every worker count, the output slice — order
+// included — equals the sequential reference's.
+func TestParallelListingBitIdentical(t *testing.T) {
+	for name, g := range listingTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			want := referenceListTriangles(g)
+			for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+				s := &OracleScratch{Workers: workers}
+				got := s.ListTriangles(g)
+				if !slices.Equal(got, want) {
+					t.Fatalf("workers=%d: %d triangles, order or content differs from reference (%d)",
+						workers, len(got), len(want))
+				}
+			}
+			// Package-level wrapper too.
+			if !slices.Equal(ListTriangles(g), want) {
+				t.Fatal("ListTriangles differs from reference")
+			}
+		})
+	}
+}
+
+// TestParallelListingRandomized drives the same property over random G(n,p)
+// across the density range, with scratch reuse across trials.
+func TestParallelListingRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	par := &OracleScratch{Workers: 8}
+	seq := &OracleScratch{Workers: 1}
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(120)
+		p := rng.Float64()
+		g := Gnp(n, p, rng)
+		want := referenceListTriangles(g)
+		if got := seq.ListTriangles(g); !slices.Equal(got, want) {
+			t.Fatalf("trial %d (n=%d p=%.2f): sequential scratch differs", trial, n, p)
+		}
+		if got := par.ListTriangles(g); !slices.Equal(got, want) {
+			t.Fatalf("trial %d (n=%d p=%.2f): parallel scratch differs", trial, n, p)
+		}
+		if c := par.CountTriangles(g); c != len(want) {
+			t.Fatalf("trial %d: count %d, want %d", trial, c, len(want))
+		}
+	}
+}
+
+// TestCountMatchesListEverywhere pins the streaming counter to the listing
+// on every kernel regime.
+func TestCountMatchesListEverywhere(t *testing.T) {
+	for name, g := range listingTestGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			want := len(referenceListTriangles(g))
+			for _, workers := range []int{1, 4} {
+				s := &OracleScratch{Workers: workers}
+				if got := s.CountTriangles(g); got != want {
+					t.Fatalf("workers=%d: count %d, want %d", workers, got, want)
+				}
+			}
+			if got := CountTriangles(g); got != want {
+				t.Fatalf("CountTriangles = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestScratchReuseAcrossShapes reuses one scratch over graphs of very
+// different sizes and densities, in both directions (grow and shrink).
+func TestScratchReuseAcrossShapes(t *testing.T) {
+	s := NewOracleScratch()
+	rng := rand.New(rand.NewSource(5))
+	shapes := []*Graph{
+		Gnp(300, 0.05, rng),
+		Complete(260),
+		Gnp(10, 0.5, rng),
+		Empty(0),
+		BarabasiAlbert(400, 6, rng),
+		Gnp(40, 0.9, rng),
+	}
+	for i, g := range shapes {
+		want := referenceListTriangles(g)
+		got := s.ListTriangles(g)
+		if !slices.Equal(got, want) {
+			t.Fatalf("shape %d: listing differs after reuse", i)
+		}
+		if c := s.CountTriangles(g); c != len(want) {
+			t.Fatalf("shape %d: count %d, want %d", i, c, len(want))
+		}
+	}
+}
+
+// TestCountTrianglesAllocFree is the OracleScratch contract: once warmed,
+// streaming counts allocate nothing, even on the parallel path.
+func TestCountTrianglesAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := Gnp(512, 0.1, rng)
+	s := NewOracleScratch()
+	want := s.CountTriangles(g) // warm every buffer
+	avg := testing.AllocsPerRun(20, func() {
+		if got := s.CountTriangles(g); got != want {
+			t.Fatalf("count drifted: %d != %d", got, want)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("CountTriangles allocates %.1f objects/op on a warmed scratch, want 0", avg)
+	}
+}
+
+// --- kernel fuzz -------------------------------------------------------
+
+// decodeSortedPair turns fuzz bytes into two ascending duplicate-free int32
+// runs over a shared small domain (so intersections are non-trivial).
+func decodeSortedPair(data []byte) (a, b []int32) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	split := int(data[0])
+	rest := data[1:]
+	if split > len(rest) {
+		split = len(rest)
+	}
+	mk := func(bs []byte) []int32 {
+		seen := make(map[int32]bool, len(bs))
+		out := make([]int32, 0, len(bs))
+		for _, x := range bs {
+			v := int32(x)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		slices.Sort(out)
+		return out
+	}
+	return mk(rest[:split]), mk(rest[split:])
+}
+
+// FuzzIntersectionKernels checks that the galloping and bitmap kernels (and
+// all count variants) agree with the plain merge on arbitrary sorted inputs.
+func FuzzIntersectionKernels(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 2, 3, 4})
+	f.Add([]byte{1, 9, 9, 9, 9})
+	f.Add([]byte{0})
+	f.Add([]byte{5, 0, 1, 2, 3, 4, 2, 200, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeSortedPair(data)
+		want := mergeInto(a, b, nil)
+		if got := gallopInto(a, b, nil); !slices.Equal(got, want) {
+			t.Fatalf("gallop(a,b) = %v, merge = %v", got, want)
+		}
+		if got := gallopInto(b, a, nil); !slices.Equal(got, want) {
+			t.Fatalf("gallop(b,a) = %v, merge = %v", got, want)
+		}
+		if got := adaptiveInto(a, b, nil); !slices.Equal(got, want) {
+			t.Fatalf("adaptive = %v, merge = %v", got, want)
+		}
+		bm := make([]uint64, 4) // domain is [0,256)
+		for _, x := range a {
+			bm[x>>6] |= 1 << (x & 63)
+		}
+		if got := bitmapInto(bm, b, nil); !slices.Equal(got, want) {
+			t.Fatalf("bitmap = %v, merge = %v", got, want)
+		}
+		if got := mergeCount(a, b); got != len(want) {
+			t.Fatalf("mergeCount = %d, want %d", got, len(want))
+		}
+		if got := gallopCount(a, b); got != len(want) {
+			t.Fatalf("gallopCount(a,b) = %d, want %d", got, len(want))
+		}
+		if got := gallopCount(b, a); got != len(want) {
+			t.Fatalf("gallopCount(b,a) = %d, want %d", got, len(want))
+		}
+		if got := adaptiveCount(a, b); got != len(want) {
+			t.Fatalf("adaptiveCount = %d, want %d", got, len(want))
+		}
+		if got := bitmapCount(bm, b); got != len(want) {
+			t.Fatalf("bitmapCount = %d, want %d", got, len(want))
+		}
+	})
+}
+
+// FuzzLowerBoundGallop pins the galloping search to the linear definition.
+func FuzzLowerBoundGallop(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, int32(3))
+	f.Add([]byte{}, int32(0))
+	f.Fuzz(func(t *testing.T, data []byte, x int32) {
+		lst := make([]int32, 0, len(data))
+		for _, v := range data {
+			lst = append(lst, int32(v))
+		}
+		slices.Sort(lst)
+		lst = slices.Compact(lst)
+		want := 0
+		for _, v := range lst {
+			if v < x {
+				want++
+			}
+		}
+		if got := lowerBoundGallop(lst, x); got != want {
+			t.Fatalf("lowerBoundGallop(%v, %d) = %d, want %d", lst, x, got, want)
+		}
+	})
+}

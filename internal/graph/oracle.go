@@ -2,87 +2,8 @@ package graph
 
 import (
 	"math"
-	"slices"
 	"sort"
 )
-
-// ListTriangles enumerates T(G) exactly using the degree-ordered compact
-// forward algorithm, which runs in O(m^{3/2}) time. It is the centralized
-// ground-truth oracle against which every distributed algorithm is verified.
-//
-// The oriented adjacency is built as a second CSR slab (one offsets array,
-// one targets array) mirroring the graph's own storage, so the hot
-// intersection loop scans two contiguous int32 ranges.
-func ListTriangles(g *Graph) []Triangle {
-	n := g.N()
-	// rank orders vertices by (degree desc, id asc); orienting edges from
-	// lower to higher rank bounds out-degrees by O(sqrt(m)).
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(int(order[i])), g.Degree(int(order[j]))
-		if di != dj {
-			return di > dj
-		}
-		return order[i] < order[j]
-	})
-	rank := make([]int32, n)
-	for r, v := range order {
-		rank[v] = int32(r)
-	}
-	// Forward CSR: fwd adjacency of v = neighbors with higher rank, stored
-	// by rank so the merge below intersects rank-sorted runs.
-	foffs := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		for _, u := range g.Neighbors(v) {
-			if rank[u] > rank[v] {
-				foffs[v+1]++
-			}
-		}
-	}
-	for v := 0; v < n; v++ {
-		foffs[v+1] += foffs[v]
-	}
-	ftgts := make([]int32, foffs[n])
-	fill := make([]int32, n)
-	for v := 0; v < n; v++ {
-		for _, u := range g.Neighbors(v) {
-			if rank[u] > rank[v] {
-				ftgts[foffs[v]+fill[v]] = rank[u]
-				fill[v]++
-			}
-		}
-		slices.Sort(ftgts[foffs[v] : foffs[v]+fill[v]])
-	}
-	var out []Triangle
-	for _, u := range order {
-		a := ftgts[foffs[u]:foffs[u+1]]
-		for _, rv := range a {
-			v := order[rv]
-			// Triangles {u, v, w} with rank(u) < rank(v) < rank(w).
-			b := ftgts[foffs[v]:foffs[v+1]]
-			i, j := 0, 0
-			for i < len(a) && j < len(b) {
-				switch {
-				case a[i] < b[j]:
-					i++
-				case a[i] > b[j]:
-					j++
-				default:
-					out = append(out, NewTriangle(int(u), int(v), int(order[a[i]])))
-					i++
-					j++
-				}
-			}
-		}
-	}
-	return out
-}
-
-// CountTriangles returns |T(G)| without materializing the list.
-func CountTriangles(g *Graph) int { return len(ListTriangles(g)) }
 
 // ListTrianglesBrute enumerates T(G) by checking all O(n^3) triples. It is a
 // test oracle for the oracle.
@@ -122,11 +43,17 @@ func TrianglesOf(g *Graph, v int) []Triangle {
 // EdgeTriangleCounts returns the paper's #(e) for every edge: the number of
 // triangles containing e. Edges in no triangle are present with count 0.
 func EdgeTriangleCounts(g *Graph) map[Edge]int {
+	return edgeTriangleCountsOf(g, ListTriangles(g))
+}
+
+// edgeTriangleCountsOf derives the per-edge counts from an already-computed
+// triangle list, so callers that need both pay for one oracle pass.
+func edgeTriangleCountsOf(g *Graph, ts []Triangle) map[Edge]int {
 	counts := make(map[Edge]int, g.M())
 	for _, e := range g.Edges() {
 		counts[e] = 0
 	}
-	for _, t := range ListTriangles(g) {
+	for _, t := range ts {
 		for _, e := range t.Edges() {
 			counts[e]++
 		}
@@ -143,9 +70,10 @@ func HeavyThreshold(n int, eps float64) float64 {
 // HeavyTriangles partitions T(G) into the epsilon-heavy set T_eps(G) (some
 // edge of the triangle lies in >= n^eps triangles) and its complement.
 func HeavyTriangles(g *Graph, eps float64) (heavy, light []Triangle) {
-	counts := EdgeTriangleCounts(g)
+	ts := ListTriangles(g)
+	counts := edgeTriangleCountsOf(g, ts)
 	thr := HeavyThreshold(g.N(), eps)
-	for _, t := range ListTriangles(g) {
+	for _, t := range ts {
 		isHeavy := false
 		for _, e := range t.Edges() {
 			if float64(counts[e]) >= thr {

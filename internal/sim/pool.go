@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// EnginePool recycles Engines for repeated runs over one (graph, config)
+// pair. Get hands out a drained engine rewound with Engine.Reset — an O(n)
+// epoch bump that keeps every slab allocation — or builds a fresh one when
+// the pool is empty, so k concurrent borrowers cost k engine allocations
+// total no matter how many runs they make. The pool is safe for concurrent
+// use; each borrowed engine belongs to exactly one caller until Put.
+//
+// The config's Seed field is ignored: every Get names its own seed, which
+// fully determines the run (see the determinism contract in DESIGN.md).
+type EnginePool struct {
+	input *graph.Graph
+	cfg   Config
+
+	mu   sync.Mutex
+	free []*Engine
+}
+
+// NewEnginePool returns a pool producing engines over input with cfg (mode,
+// bandwidth, parallelism). No engine is built until the first Get.
+func NewEnginePool(input *graph.Graph, cfg Config) *EnginePool {
+	return &EnginePool{input: input, cfg: cfg.withDefaults()}
+}
+
+// Graph returns the input graph the pool's engines simulate.
+func (p *EnginePool) Graph() *graph.Graph { return p.input }
+
+// Config returns the pool's engine configuration.
+func (p *EnginePool) Config() Config { return p.cfg }
+
+// Get returns an engine initialized for a fresh run with the given node set
+// and seed, reusing a pooled engine when one is free.
+func (p *EnginePool) Get(nodes []Node, seed int64) (*Engine, error) {
+	p.mu.Lock()
+	var e *Engine
+	if n := len(p.free); n > 0 {
+		e = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if e != nil {
+		if err := e.Reset(nodes, seed); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	cfg := p.cfg
+	cfg.Seed = seed
+	return NewEngine(p.input, nodes, cfg)
+}
+
+// Put returns an engine to the pool for reuse. Only engines obtained from
+// this pool's Get may be returned; the caller must not touch the engine
+// afterwards.
+func (p *EnginePool) Put(e *Engine) {
+	if e == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, e)
+	p.mu.Unlock()
+}
+
+// Size reports how many idle engines the pool currently holds.
+func (p *EnginePool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
