@@ -15,6 +15,7 @@ import (
 	"repro/internal/agg"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/expt"
 	"repro/internal/graph"
 	"repro/internal/lower"
@@ -421,6 +422,62 @@ func BenchmarkCountTriangles(b *testing.B) {
 func BenchmarkSweep(b *testing.B) {
 	b.Run("seq", benchSweep(1))
 	b.Run("par", benchSweep(0))
+}
+
+// --- Dynamic-graph benchmarks ------------------------------------------
+//
+// BenchmarkDynamicApply backs BENCH_dynamic.json: per-batch churn cost on
+// the oracle workload graph (G(2048, 0.1), ~210k edges), incremental
+// delta maintenance vs a full static recompute per batch. The batch is 1%
+// of the edges — the small-batch regime where delta maintenance must beat
+// the recompute by a wide margin (the emitter in benchjson_test.go records
+// the ratio).
+
+// benchDynamicBatch is the churn batch size: 1% of the workload graph's
+// edges.
+func benchDynamicBatch(g *graph.Graph) int { return g.M() / 100 }
+
+func benchDynamicApply(incremental bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := benchOracleGraph(b)
+		rng := rand.New(rand.NewSource(23))
+		d := dynamic.FromGraph(g)
+		w := dynamic.NewRandomFlip(benchDynamicBatch(g))
+		scratch := graph.NewOracleScratch()
+		var o *dynamic.IncrementalOracle
+		if incremental {
+			o = dynamic.NewIncrementalOracle(d)
+		} else {
+			scratch.CountTriangles(g) // warm the recompute scratch
+		}
+		edges := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := w.Next(d, rng)
+			edges += len(batch.Insert) + len(batch.Delete)
+			if incremental {
+				if _, err := o.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if err := d.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+				snap, _ := d.Snapshot()
+				scratch.CountTriangles(snap)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/sec")
+	}
+}
+
+// BenchmarkDynamicApply — per-batch churn: incremental triangle
+// maintenance vs full O(m^{3/2}) recompute on every batch.
+func BenchmarkDynamicApply(b *testing.B) {
+	b.Run("incremental", benchDynamicApply(true))
+	b.Run("full", benchDynamicApply(false))
 }
 
 // BenchmarkEngineParallel — substrate bench: parallel vs sequential engine

@@ -1,13 +1,15 @@
 package repro
 
 // Machine-readable perf trajectory. TestEmitOracleBenchJSON regenerates
-// BENCH_oracle.json from the oracle and sweep-runner benchmarks so each PR
-// can record before/after numbers in a diffable form:
+// BENCH_oracle.json from the oracle and sweep-runner benchmarks, and
+// TestEmitDynamicBenchJSON regenerates BENCH_dynamic.json from the
+// dynamic-graph churn benchmarks, so each PR can record before/after
+// numbers in a diffable form:
 //
-//	EMIT_BENCH_JSON=1 go test -run TestEmitOracleBenchJSON -count=1 .
+//	EMIT_BENCH_JSON=1 go test -run 'TestEmit.*BenchJSON' -count=1 .
 //
-// The committed file holds the numbers from the machine that last
-// regenerated it; compare entries only within one file (or one machine).
+// The committed files hold the numbers from the machine that last
+// regenerated them; compare entries only within one file (or one machine).
 
 import (
 	"encoding/json"
@@ -22,13 +24,28 @@ type benchEntry struct {
 	AllocsPerOp     int64   `json:"allocs_per_op"`
 	TrianglesPerSec float64 `json:"triangles_per_sec,omitempty"`
 	CellsPerSec     float64 `json:"cells_per_sec,omitempty"`
+	EdgesPerSec     float64 `json:"edges_per_sec,omitempty"`
 }
 
 type benchReport struct {
-	GoVersion  string       `json:"go_version"`
-	GOARCH     string       `json:"goarch"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Entries    []benchEntry `json:"entries"`
+	GoVersion  string             `json:"go_version"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Entries    []benchEntry       `json:"entries"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func writeBenchReport(t *testing.T, path string, rep benchReport) {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s with %d entries", path, len(rep.Entries))
 }
 
 func TestEmitOracleBenchJSON(t *testing.T) {
@@ -63,13 +80,44 @@ func TestEmitOracleBenchJSON(t *testing.T) {
 			CellsPerSec:     r.Extra["cells/sec"],
 		})
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		t.Fatal(err)
+	writeBenchReport(t, "BENCH_oracle.json", rep)
+}
+
+// TestEmitDynamicBenchJSON regenerates BENCH_dynamic.json: the per-batch
+// churn cost of the incremental oracle vs a full static recompute on
+// G(2048, 0.1) at 1%-of-edges batches, plus the derived speedup ratio.
+func TestEmitDynamicBenchJSON(t *testing.T) {
+	if os.Getenv("EMIT_BENCH_JSON") == "" {
+		t.Skip("set EMIT_BENCH_JSON=1 to regenerate BENCH_dynamic.json")
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile("BENCH_oracle.json", data, 0o644); err != nil {
-		t.Fatal(err)
+	rep := benchReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
-	t.Logf("wrote BENCH_oracle.json with %d entries", len(rep.Entries))
+	ns := map[string]float64{}
+	for _, bench := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"DynamicApply/incremental", benchDynamicApply(true)},
+		{"DynamicApply/full", benchDynamicApply(false)},
+	} {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", bench.name)
+		}
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		ns[bench.name] = nsOp
+		rep.Entries = append(rep.Entries, benchEntry{
+			Name:        bench.name,
+			NsPerOp:     nsOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			EdgesPerSec: r.Extra["edges/sec"],
+		})
+	}
+	rep.Derived = map[string]float64{
+		"speedup_incremental_vs_full": ns["DynamicApply/full"] / ns["DynamicApply/incremental"],
+	}
+	writeBenchReport(t, "BENCH_dynamic.json", rep)
 }

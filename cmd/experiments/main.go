@@ -1,12 +1,15 @@
 // Command experiments regenerates the paper's evaluation: every row of
-// Table 1 of Izumi & Le Gall (PODC'17) plus the lower-bound measurements
-// and the design ablations, as scaling tables with fitted exponents.
+// Table 1 of Izumi & Le Gall (PODC'17) plus the lower-bound measurements,
+// the design ablations, and the dynamic-graph churn family (sliding
+// window, random flips, preferential growth; see internal/dynamic), as
+// scaling tables with fitted exponents.
 //
 // Examples:
 //
 //	experiments                 # run everything at default sizes
 //	experiments -quick          # small smoke sizes
 //	experiments -exp e5         # only the Theorem-2 lister row
+//	experiments -exp churn-window,churn-flip,churn-growth
 //	experiments -sizes 32,64,128 -csv out/
 package main
 

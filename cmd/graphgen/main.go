@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/graph"
 )
@@ -31,7 +32,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
 	var (
-		gen   = fs.String("gen", "gnp", "generator: gnp|complete|empty|bipartite|ring|chords|ba|planted|heavy|regular")
+		gen   = fs.String("gen", "gnp", "generator: "+strings.Join(graph.GeneratorNames(), "|"))
 		load  = fs.String("load", "", "load an edge-list file instead of generating")
 		n     = fs.Int("n", 64, "number of vertices")
 		p     = fs.Float64("p", 0.5, "edge probability")

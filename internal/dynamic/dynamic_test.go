@@ -1,0 +1,330 @@
+package dynamic_test
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+func sortedTriangles(ts []graph.Triangle) []graph.Triangle {
+	out := append([]graph.Triangle(nil), ts...)
+	graph.SortTriangles(out)
+	return out
+}
+
+// churnCase is one (seed graph, workload) scenario for the property tests.
+type churnCase struct {
+	name string
+	seed func(rng *rand.Rand) *graph.Graph
+	work func(d *dynamic.DynamicGraph) dynamic.Workload
+}
+
+func churnCases() []churnCase {
+	return []churnCase{
+		{
+			name: "sliding-window/gnm",
+			seed: func(rng *rand.Rand) *graph.Graph { return graph.Gnm(48, 200, rng) },
+			work: func(d *dynamic.DynamicGraph) dynamic.Workload { return dynamic.NewSlidingWindow(d, 24, d.M()) },
+		},
+		{
+			name: "sliding-window/small-window",
+			seed: func(rng *rand.Rand) *graph.Graph { return graph.Gnm(32, 120, rng) },
+			work: func(d *dynamic.DynamicGraph) dynamic.Workload { return dynamic.NewSlidingWindow(d, 16, 60) },
+		},
+		{
+			name: "random-flip/gnp",
+			seed: func(rng *rand.Rand) *graph.Graph { return graph.Gnp(40, 0.25, rng) },
+			work: func(d *dynamic.DynamicGraph) dynamic.Workload { return dynamic.NewRandomFlip(30) },
+		},
+		{
+			name: "random-flip/dense",
+			seed: func(rng *rand.Rand) *graph.Graph { return graph.Gnp(24, 0.6, rng) },
+			work: func(d *dynamic.DynamicGraph) dynamic.Workload { return dynamic.NewRandomFlip(40) },
+		},
+		{
+			name: "growth/from-empty",
+			seed: func(rng *rand.Rand) *graph.Graph { return graph.Empty(40) },
+			work: func(d *dynamic.DynamicGraph) dynamic.Workload { return dynamic.NewGrowth(d, 20) },
+		},
+		{
+			name: "growth/from-ba",
+			seed: func(rng *rand.Rand) *graph.Graph { return graph.BarabasiAlbert(48, 3, rng) },
+			work: func(d *dynamic.DynamicGraph) dynamic.Workload { return dynamic.NewGrowth(d, 12) },
+		},
+	}
+}
+
+// TestIncrementalMatchesFreshOracle is the subsystem's central property:
+// across every churn workload, after every batch, the maintained triangle
+// set (previous set minus Died plus Born), the maintained count, and the
+// forward-structure re-listing are all bit-identical to a fresh static
+// ListTriangles on a fresh snapshot — and the maintained orientation
+// invariants hold.
+func TestIncrementalMatchesFreshOracle(t *testing.T) {
+	const epochs = 25
+	for _, tc := range churnCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			d := dynamic.FromGraph(tc.seed(rng))
+			o := dynamic.NewIncrementalOracle(d)
+			w := tc.work(d)
+
+			have := make(map[graph.Triangle]bool)
+			snap, _ := d.Snapshot()
+			for _, tr := range graph.ListTriangles(snap) {
+				have[tr] = true
+			}
+			if int64(len(have)) != o.Count() {
+				t.Fatalf("epoch 0: oracle count %d, fresh %d", o.Count(), len(have))
+			}
+
+			for ep := 1; ep <= epochs; ep++ {
+				batch := w.Next(d, rng)
+				delta, err := o.Apply(batch)
+				if err != nil {
+					t.Fatalf("epoch %d: %v", ep, err)
+				}
+				if delta.Epoch != uint64(ep) {
+					t.Fatalf("epoch %d: delta reports epoch %d", ep, delta.Epoch)
+				}
+				// Delta semantics: died triangles existed, born ones did not.
+				for _, tr := range delta.Died {
+					if !have[tr] {
+						t.Fatalf("epoch %d: died triangle %v was not alive", ep, tr)
+					}
+					delete(have, tr)
+				}
+				for _, tr := range delta.Born {
+					if have[tr] {
+						t.Fatalf("epoch %d: born triangle %v already alive", ep, tr)
+					}
+					have[tr] = true
+				}
+
+				snap, se := d.Snapshot()
+				if se != uint64(ep) {
+					t.Fatalf("epoch %d: snapshot epoch %d", ep, se)
+				}
+				fresh := sortedTriangles(graph.ListTriangles(snap))
+				maintained := make([]graph.Triangle, 0, len(have))
+				for tr := range have {
+					maintained = append(maintained, tr)
+				}
+				maintained = sortedTriangles(maintained)
+				if !slices.Equal(fresh, maintained) {
+					t.Fatalf("epoch %d (%s): delta-maintained set diverges from fresh oracle (%d vs %d triangles)",
+						ep, w.Name(), len(maintained), len(fresh))
+				}
+				if o.Count() != int64(len(fresh)) {
+					t.Fatalf("epoch %d: maintained count %d, fresh %d", ep, o.Count(), len(fresh))
+				}
+				if got := o.ListTriangles(); !slices.Equal(fresh, append([]graph.Triangle(nil), got...)) {
+					t.Fatalf("epoch %d: forward-structure listing diverges from fresh oracle", ep)
+				}
+				if o.FullCount() != len(fresh) {
+					t.Fatalf("epoch %d: FullCount %d, fresh %d", ep, o.FullCount(), len(fresh))
+				}
+				if err := o.Validate(); err != nil {
+					t.Fatalf("epoch %d: %v", ep, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaDisjointAndThroughUpdatedEdges pins the delta-enumeration
+// invariants directly: born and died are disjoint, every died triangle
+// contains a deleted edge, and every born triangle contains an inserted
+// edge.
+func TestDeltaDisjointAndThroughUpdatedEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := dynamic.FromGraph(graph.Gnp(36, 0.3, rng))
+	o := dynamic.NewIncrementalOracle(d)
+	w := dynamic.NewRandomFlip(25)
+	for ep := 0; ep < 20; ep++ {
+		batch := w.Next(d, rng)
+		deleted := make(map[graph.Edge]bool, len(batch.Delete))
+		for _, e := range batch.Delete {
+			deleted[e] = true
+		}
+		inserted := make(map[graph.Edge]bool, len(batch.Insert))
+		for _, e := range batch.Insert {
+			inserted[e] = true
+		}
+		delta, err := o.Apply(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		died := make(map[graph.Triangle]bool, len(delta.Died))
+		for _, tr := range delta.Died {
+			died[tr] = true
+			ok := false
+			for _, e := range tr.Edges() {
+				if deleted[e] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("died triangle %v contains no deleted edge", tr)
+			}
+		}
+		for _, tr := range delta.Born {
+			if died[tr] {
+				t.Fatalf("triangle %v both born and died in one batch", tr)
+			}
+			ok := false
+			for _, e := range tr.Edges() {
+				if inserted[e] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("born triangle %v contains no inserted edge", tr)
+			}
+		}
+	}
+}
+
+// TestSnapshotImmutable freezes a snapshot, churns on, and checks the old
+// snapshot still describes the old epoch.
+func TestSnapshotImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := dynamic.FromGraph(graph.Gnm(30, 100, rng))
+	before, ep0 := d.Snapshot()
+	wantEdges := append([]graph.Edge(nil), d.Edges()...)
+	wantTris := sortedTriangles(graph.ListTriangles(before))
+
+	w := dynamic.NewRandomFlip(40)
+	for i := 0; i < 10; i++ {
+		if err := d.Apply(w.Next(d, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Epoch() != ep0+10 {
+		t.Fatalf("epoch %d after 10 batches from %d", d.Epoch(), ep0)
+	}
+	if err := before.Validate(); err != nil {
+		t.Fatalf("old snapshot corrupted: %v", err)
+	}
+	if !slices.Equal(before.Edges(), wantEdges) {
+		t.Fatal("old snapshot edge set changed under churn")
+	}
+	if !slices.Equal(sortedTriangles(graph.ListTriangles(before)), wantTris) {
+		t.Fatal("old snapshot triangles changed under churn")
+	}
+}
+
+// TestBatchValidation exercises every rejection path; a rejected batch
+// must leave graph and oracle untouched.
+func TestBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := dynamic.FromGraph(graph.Gnm(16, 40, rng))
+	o := dynamic.NewIncrementalOracle(d)
+	m, count, epoch := d.M(), o.Count(), d.Epoch()
+
+	present := d.Edges()[0]
+	absent := graph.Edge{}
+	for u := 0; u < d.N() && absent == (graph.Edge{}); u++ {
+		for v := u + 1; v < d.N(); v++ {
+			if !d.HasEdge(u, v) {
+				absent = graph.NewEdge(u, v)
+				break
+			}
+		}
+	}
+	cases := []struct {
+		name string
+		b    dynamic.Batch
+	}{
+		{"delete absent", dynamic.Batch{Delete: []graph.Edge{absent}}},
+		{"insert present", dynamic.Batch{Insert: []graph.Edge{present}}},
+		{"self loop", dynamic.Batch{Insert: []graph.Edge{{U: 3, V: 3}}}},
+		{"out of range", dynamic.Batch{Insert: []graph.Edge{{U: 2, V: 99}}}},
+		{"negative", dynamic.Batch{Insert: []graph.Edge{{U: -1, V: 2}}}},
+		{"dup within list", dynamic.Batch{Insert: []graph.Edge{absent, {U: absent.V, V: absent.U}}}},
+		{"dup across lists", dynamic.Batch{Delete: []graph.Edge{present}, Insert: []graph.Edge{present}}},
+	}
+	for _, tc := range cases {
+		if _, err := o.Apply(tc.b); err == nil {
+			t.Fatalf("%s: batch accepted", tc.name)
+		}
+		if err := d.Apply(tc.b); err == nil {
+			t.Fatalf("%s: DynamicGraph accepted batch", tc.name)
+		}
+		if d.M() != m || o.Count() != count || d.Epoch() != epoch {
+			t.Fatalf("%s: rejected batch mutated state", tc.name)
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+	// An empty batch is legal and still bumps the epoch.
+	delta, err := o.Apply(dynamic.Batch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Born)+len(delta.Died) != 0 || d.Epoch() != epoch+1 {
+		t.Fatal("empty batch misbehaved")
+	}
+}
+
+// TestWorkloadsProduceValidBatches runs each workload bare (without the
+// oracle) through DynamicGraph.Apply, which validates every batch.
+func TestWorkloadsProduceValidBatches(t *testing.T) {
+	for _, tc := range churnCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(13))
+			d := dynamic.FromGraph(tc.seed(rng))
+			w := tc.work(d)
+			for ep := 0; ep < 30; ep++ {
+				if err := d.Apply(w.Next(d, rng)); err != nil {
+					t.Fatalf("epoch %d: %v", ep, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSlidingWindowBoundsEdges checks the window contract: after every
+// batch the live edge count never exceeds the window.
+func TestSlidingWindowBoundsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d := dynamic.FromGraph(graph.Gnm(40, 180, rng))
+	const window = 120
+	w := dynamic.NewSlidingWindow(d, 30, window)
+	for ep := 0; ep < 20; ep++ {
+		if err := d.Apply(w.Next(d, rng)); err != nil {
+			t.Fatal(err)
+		}
+		if ep >= 2 && d.M() > window {
+			t.Fatalf("epoch %d: %d live edges exceed window %d", ep, d.M(), window)
+		}
+	}
+}
+
+// TestGrowthOnlyInserts pins the growth workload's monotonicity.
+func TestGrowthOnlyInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	d := dynamic.New(32)
+	w := dynamic.NewGrowth(d, 16)
+	prev := 0
+	for ep := 0; ep < 15; ep++ {
+		b := w.Next(d, rng)
+		if len(b.Delete) != 0 {
+			t.Fatal("growth workload produced a deletion")
+		}
+		if err := d.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if d.M() < prev {
+			t.Fatal("edge count shrank under growth")
+		}
+		prev = d.M()
+	}
+	if prev == 0 {
+		t.Fatal("growth inserted nothing")
+	}
+}

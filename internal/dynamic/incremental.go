@@ -1,0 +1,356 @@
+package dynamic
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// Delta is the exact triangle difference produced by one batch: Died are
+// the triangles of the pre-batch graph destroyed by the deletions, Born the
+// triangles of the post-batch graph created by the insertions. The two sets
+// are disjoint by construction (a died triangle contains a deleted edge so
+// it cannot exist after the batch; a born one contains an inserted edge so
+// it cannot have existed before). Both slices are backed by the oracle's
+// scratch and are valid until its next Apply; copy them to keep them.
+type Delta struct {
+	// Epoch is the epoch number after the batch (the first Apply on a
+	// freshly attached oracle yields Epoch 1).
+	Epoch uint64
+	Born  []graph.Triangle
+	Died  []graph.Triangle
+}
+
+// IncrementalOracle maintains the exact triangle census of a DynamicGraph
+// under batched updates. It keeps the same rank-oriented forward adjacency
+// as the static oracle in internal/graph/listing.go — every edge oriented
+// from lower to higher rank, rank ordering vertices by (degree desc, id
+// asc) — and repairs it edge by edge as degrees drift, so a full re-listing
+// from the maintained structure is always available without rebuilding.
+// Per-batch triangle deltas are enumerated through the shared
+// merge/galloping intersection kernels (graph.IntersectInto): a deleted
+// edge kills exactly the triangles through it in the current graph, an
+// inserted edge creates exactly the triangles through it after insertion,
+// and processing deletions before insertions edge by edge makes the union
+// of per-edge deltas exact — no triangle is counted twice even when it
+// touches several updated edges.
+//
+// After NewIncrementalOracle the oracle must be the graph's only mutator:
+// update through IncrementalOracle.Apply, not DynamicGraph.Apply.
+type IncrementalOracle struct {
+	d     *DynamicGraph
+	fwd   [][]int32 // fwd[v]: sorted ids of neighbors w with rankLess(v, w)
+	count int64
+
+	cn      []int32  // common-neighborhood scratch
+	bm      []uint64 // id-space bitmap for high-degree CN queries (zero between uses)
+	born    []graph.Triangle
+	died    []graph.Triangle
+	out     []graph.Triangle
+	scratch *graph.OracleScratch // pooled static-oracle scratch for FullCount
+}
+
+// cnBitmapMinDeg is the endpoint degree at which a common-neighborhood
+// query switches from the merge/galloping kernels to the bitmap kernel
+// (same trade-off as the static oracle's bitmapMinDeg, but per query: the
+// O(min deg) build+clear must beat the merge's branch misses).
+const cnBitmapMinDeg = 96
+
+// NewIncrementalOracle attaches an oracle to d, building the forward
+// orientation and the initial triangle count from d's current state in
+// O(m^{3/2}).
+func NewIncrementalOracle(d *DynamicGraph) *IncrementalOracle {
+	o := &IncrementalOracle{d: d, fwd: make([][]int32, d.n), scratch: graph.NewOracleScratch()}
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.adj[u] {
+			if o.rankLess(u, int(v)) {
+				o.fwd[u] = append(o.fwd[u], v)
+			}
+		}
+	}
+	o.count = int64(o.enumCount())
+	return o
+}
+
+// Graph returns the underlying dynamic graph (read-only use: query state,
+// take snapshots; mutate only through the oracle's Apply).
+func (o *IncrementalOracle) Graph() *DynamicGraph { return o.d }
+
+// Count returns the maintained |T(G)| for the current epoch.
+func (o *IncrementalOracle) Count() int64 { return o.count }
+
+// rankLess reports whether u precedes v in the static oracle's rank order
+// under the CURRENT degrees: higher degree first, ties broken by id.
+func (o *IncrementalOracle) rankLess(u, v int) bool {
+	du, dv := len(o.d.adj[u]), len(o.d.adj[v])
+	if du != dv {
+		return du > dv
+	}
+	return u < v
+}
+
+// Apply applies one batch to the underlying graph — deletions first, then
+// insertions, each maintaining the forward orientation — and returns the
+// exact triangle delta. On a validation error nothing is modified.
+func (o *IncrementalOracle) Apply(b Batch) (Delta, error) {
+	dels, ins, err := o.d.canonBatch(b)
+	if err != nil {
+		return Delta{}, err
+	}
+	o.born, o.died = o.born[:0], o.died[:0]
+	for _, e := range dels {
+		o.deleteEdge(e.U, e.V)
+	}
+	for _, e := range ins {
+		o.insertEdge(e.U, e.V)
+	}
+	o.count += int64(len(o.born)) - int64(len(o.died))
+	o.d.epoch++
+	return Delta{Epoch: o.d.epoch, Born: o.born, Died: o.died}, nil
+}
+
+// deleteEdge removes {u, v}: the triangles through it in the current graph
+// are exactly the ones that die with it (insertion of this batch have not
+// been applied yet, and earlier deletions have, so sequential processing
+// never double-counts a triangle with several deleted edges).
+func (o *IncrementalOracle) deleteEdge(u, v int) {
+	o.commonNeighbors(u, v)
+	for _, w := range o.cn {
+		o.died = append(o.died, graph.NewTriangle(u, v, int(w)))
+	}
+	// Drop the edge from whichever side holds it, then update adjacency and
+	// repair the orientation of the remaining incident edges of u and v.
+	if !removeIfPresent(&o.fwd[u], int32(v)) {
+		removeIfPresent(&o.fwd[v], int32(u))
+	}
+	du, dv := len(o.d.adj[u]), len(o.d.adj[v])
+	o.d.deleteEdge(u, v)
+	o.repairAfterLoss(u, v, du)
+	o.repairAfterLoss(v, u, dv)
+}
+
+// insertEdge adds {u, v}: the triangles through it after insertion of all
+// previous batch edges are exactly the ones it creates.
+func (o *IncrementalOracle) insertEdge(u, v int) {
+	o.commonNeighbors(u, v)
+	for _, w := range o.cn {
+		o.born = append(o.born, graph.NewTriangle(u, v, int(w)))
+	}
+	o.d.insertEdge(u, v)
+	if o.rankLess(u, v) {
+		o.fwd[u] = insertSorted(o.fwd[u], int32(v))
+	} else {
+		o.fwd[v] = insertSorted(o.fwd[v], int32(u))
+	}
+	du, dv := len(o.d.adj[u]), len(o.d.adj[v])
+	o.repairAfterGain(u, v, du-1)
+	o.repairAfterGain(v, u, dv-1)
+}
+
+// commonNeighbors fills o.cn with N(u) cap N(v) under the current
+// adjacency. Low-degree endpoints use the merge/galloping kernels;
+// high-degree ones build an id-space bitmap over the smaller neighborhood
+// and probe the larger — the same kernel family as the static oracle,
+// picked per query.
+func (o *IncrementalOracle) commonNeighbors(u, v int) {
+	a, b := o.d.adj[u], o.d.adj[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) < cnBitmapMinDeg {
+		o.cn = graph.IntersectInto(a, b, o.cn[:0])
+		return
+	}
+	words := (o.d.n + 63) / 64
+	if len(o.bm) < words {
+		o.bm = make([]uint64, words)
+	}
+	bm := o.bm
+	for _, x := range a {
+		bm[x>>6] |= 1 << (x & 63)
+	}
+	o.cn = graph.IntersectBitmap(bm, b, o.cn[:0])
+	for _, x := range a {
+		bm[x>>6] = 0
+	}
+}
+
+// The repair pair restores the forward orientation of u's incident edges
+// after deg(u) changed by one. Only the pair {u, excl} had its other
+// endpoint's degree change too — it is freshly placed by the caller and
+// skipped here — and for every other neighbor x the old orientation is
+// known from the invariant (it matched the comparator under u's old
+// degree), so the exact flip set follows from comparing old and new
+// comparator outcomes: u moved past precisely the vertices tied with its
+// old or new degree.
+
+// repairAfterGain handles deg(u): d -> d+1. u's rank improved, so every
+// flip moves an edge into fwd[u]: x with deg(x)==d that broke the old tie
+// in x's favor (x < u), and x with deg(x)==d+1 that now ties in u's favor
+// (u < x).
+func (o *IncrementalOracle) repairAfterGain(u, excl, d int) {
+	for _, xi := range o.d.adj[u] {
+		x := int(xi)
+		if x == excl {
+			continue
+		}
+		dx := len(o.d.adj[x])
+		if (dx == d && x < u) || (dx == d+1 && u < x) {
+			removeAt(&o.fwd[x], int32(u))
+			o.fwd[u] = insertSorted(o.fwd[u], xi)
+		}
+	}
+}
+
+// repairAfterLoss handles deg(u): d -> d-1; the mirror image, every flip
+// moves an edge out of fwd[u].
+func (o *IncrementalOracle) repairAfterLoss(u, excl, d int) {
+	for _, xi := range o.d.adj[u] {
+		x := int(xi)
+		if x == excl {
+			continue
+		}
+		dx := len(o.d.adj[x])
+		if (dx == d-1 && x < u) || (dx == d && u < x) {
+			removeAt(&o.fwd[u], xi)
+			o.fwd[x] = insertSorted(o.fwd[x], int32(u))
+		}
+	}
+}
+
+// ListTriangles enumerates the maintained T(G) from the forward structure
+// (each triangle found once at its rank-minimal vertex, via the shared
+// intersection kernels) and returns it sorted in canonical (A, B, C)
+// order. The slice is backed by the oracle and valid until the next call.
+func (o *IncrementalOracle) ListTriangles() []graph.Triangle {
+	out := o.out[:0]
+	for u := 0; u < o.d.n; u++ {
+		fu := o.fwd[u]
+		if len(fu) < 2 {
+			continue
+		}
+		for _, v := range fu {
+			o.cn = graph.IntersectInto(fu, o.fwd[v], o.cn[:0])
+			for _, w := range o.cn {
+				out = append(out, graph.NewTriangle(u, int(v), int(w)))
+			}
+		}
+	}
+	graph.SortTriangles(out)
+	o.out = out
+	return out
+}
+
+// FullCount recomputes |T| from a fresh immutable snapshot with the static
+// parallel oracle, reusing one pooled OracleScratch across calls. It is
+// the ground-truth (and the full-recompute baseline the benchmarks compare
+// against); Apply never calls it.
+func (o *IncrementalOracle) FullCount() int {
+	g, _ := o.d.Snapshot()
+	return o.scratch.CountTriangles(g)
+}
+
+// enumCount counts triangles from the forward structure without
+// materializing them.
+func (o *IncrementalOracle) enumCount() int {
+	total := 0
+	for u := 0; u < o.d.n; u++ {
+		fu := o.fwd[u]
+		if len(fu) < 2 {
+			continue
+		}
+		for _, v := range fu {
+			total += graph.IntersectCount(fu, o.fwd[v])
+		}
+	}
+	return total
+}
+
+// Validate checks every maintained invariant: sorted symmetric adjacency,
+// the forward lists forming an exact orientation (each edge in precisely
+// one direction, agreeing with the rank comparator under current degrees),
+// and the running count matching a recount from the forward structure. It
+// is O(m^{3/2}) and meant for tests.
+func (o *IncrementalOracle) Validate() error {
+	d := o.d
+	edges := 0
+	for v := 0; v < d.n; v++ {
+		if !slices.IsSortedFunc(d.adj[v], compareI32Strict) {
+			return fmt.Errorf("dynamic: adjacency of %d not strictly sorted", v)
+		}
+		if !slices.IsSortedFunc(o.fwd[v], compareI32Strict) {
+			return fmt.Errorf("dynamic: forward list of %d not strictly sorted", v)
+		}
+		edges += len(d.adj[v])
+		for _, xi := range d.adj[v] {
+			x := int(xi)
+			if x == v || x < 0 || x >= d.n {
+				return fmt.Errorf("dynamic: bad neighbor %d of %d", x, v)
+			}
+			if !d.HasEdge(x, v) {
+				return fmt.Errorf("dynamic: asymmetric edge {%d,%d}", v, x)
+			}
+			inV := containsSorted(o.fwd[v], xi)
+			inX := containsSorted(o.fwd[x], int32(v))
+			if inV == inX {
+				return fmt.Errorf("dynamic: edge {%d,%d} oriented %d times", v, x, b2i(inV)+b2i(inX))
+			}
+			if inV != o.rankLess(v, x) {
+				return fmt.Errorf("dynamic: edge {%d,%d} orientation disagrees with rank order", v, x)
+			}
+		}
+		for _, xi := range o.fwd[v] {
+			if !containsSorted(d.adj[v], xi) {
+				return fmt.Errorf("dynamic: forward entry %d of %d is not a neighbor", xi, v)
+			}
+		}
+	}
+	if edges != 2*d.m {
+		return fmt.Errorf("dynamic: edge count %d, adjacency holds %d endpoints", d.m, edges)
+	}
+	if recount := int64(o.enumCount()); recount != o.count {
+		return fmt.Errorf("dynamic: running count %d, forward-structure recount %d", o.count, recount)
+	}
+	return nil
+}
+
+// removeIfPresent removes x from the sorted slice if present, reporting
+// whether it was.
+func removeIfPresent(s *[]int32, x int32) bool {
+	i, ok := slices.BinarySearch(*s, x)
+	if !ok {
+		return false
+	}
+	*s = slices.Delete(*s, i, i+1)
+	return true
+}
+
+// removeAt removes x from the sorted slice; x must be present (the repair
+// flip conditions guarantee it — a miss means the orientation invariant
+// broke, which Validate would report).
+func removeAt(s *[]int32, x int32) {
+	i, _ := slices.BinarySearch(*s, x)
+	*s = slices.Delete(*s, i, i+1)
+}
+
+func containsSorted(s []int32, x int32) bool {
+	_, ok := slices.BinarySearch(s, x)
+	return ok
+}
+
+// compareI32Strict makes slices.IsSortedFunc demand STRICTLY ascending
+// entries (duplicates count as unsorted).
+func compareI32Strict(a, b int32) int {
+	if a < b {
+		return -1
+	}
+	return 1
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

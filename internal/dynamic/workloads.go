@@ -1,0 +1,191 @@
+package dynamic
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// A Workload generates the batch stream of one churn scenario. Next
+// inspects the current graph state and returns the next batch, which the
+// caller is expected to apply before calling Next again (stateful
+// workloads — the sliding window's age queue, the growth process's
+// half-edge weights — advance assuming their batches land). Batches are
+// always valid for the state they were generated against: inserts absent,
+// deletes present, no edge twice.
+type Workload interface {
+	Name() string
+	Next(d *DynamicGraph, rng *rand.Rand) Batch
+}
+
+// sampleAttempts bounds rejection sampling per requested edge so dense or
+// near-complete graphs degrade to smaller batches instead of spinning.
+const sampleAttempts = 64
+
+// SlidingWindow models a timestamped edge stream with expiry: every batch
+// inserts BatchSize fresh random edges and expires the oldest edges beyond
+// Window. At steady state the graph is a uniform G(n, Window) sample with
+// full turnover every Window/BatchSize epochs.
+type SlidingWindow struct {
+	BatchSize int
+	Window    int
+	queue     []graph.Edge // live edges, oldest first
+}
+
+// NewSlidingWindow seeds the window with d's current edges (in canonical
+// order, treated as arrival order). Window is clamped below at BatchSize
+// so a batch never expires its own insertions.
+func NewSlidingWindow(d *DynamicGraph, batchSize, window int) *SlidingWindow {
+	if window < batchSize {
+		window = batchSize
+	}
+	return &SlidingWindow{BatchSize: batchSize, Window: window, queue: d.Edges()}
+}
+
+// Name implements Workload.
+func (w *SlidingWindow) Name() string { return "sliding-window" }
+
+// Next implements Workload.
+func (w *SlidingWindow) Next(d *DynamicGraph, rng *rand.Rand) Batch {
+	var b Batch
+	fresh := make(map[graph.Edge]struct{}, w.BatchSize)
+	for len(b.Insert) < w.BatchSize {
+		e, ok := sampleAbsent(d, rng, fresh)
+		if !ok {
+			break
+		}
+		fresh[e] = struct{}{}
+		b.Insert = append(b.Insert, e)
+	}
+	expire := len(w.queue) + len(b.Insert) - w.Window
+	if expire > len(w.queue) {
+		expire = len(w.queue)
+	}
+	if expire > 0 {
+		b.Delete = append(b.Delete, w.queue[:expire]...)
+		w.queue = w.queue[:copy(w.queue, w.queue[expire:])]
+	}
+	w.queue = append(w.queue, b.Insert...)
+	return b
+}
+
+// RandomFlip toggles BatchSize uniformly random vertex pairs per batch:
+// present pairs are deleted, absent ones inserted. Edge count performs a
+// random walk around its starting density; it is the adversarial
+// no-structure churn scenario.
+type RandomFlip struct {
+	BatchSize int
+}
+
+// NewRandomFlip returns a flip workload toggling batchSize pairs per epoch.
+func NewRandomFlip(batchSize int) *RandomFlip { return &RandomFlip{BatchSize: batchSize} }
+
+// Name implements Workload.
+func (w *RandomFlip) Name() string { return "random-flip" }
+
+// Next implements Workload.
+func (w *RandomFlip) Next(d *DynamicGraph, rng *rand.Rand) Batch {
+	var b Batch
+	seen := make(map[graph.Edge]struct{}, w.BatchSize)
+	for picked := 0; picked < w.BatchSize; picked++ {
+		var e graph.Edge
+		ok := false
+		for try := 0; try < sampleAttempts; try++ {
+			u, v := rng.Intn(d.N()), rng.Intn(d.N())
+			if u == v {
+				continue
+			}
+			e = graph.NewEdge(u, v)
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			break
+		}
+		seen[e] = struct{}{}
+		if d.HasEdge(e.U, e.V) {
+			b.Delete = append(b.Delete, e)
+		} else {
+			b.Insert = append(b.Insert, e)
+		}
+	}
+	return b
+}
+
+// Growth models organic network growth over the fixed vertex set: every
+// batch inserts BatchSize edges whose endpoints are sampled proportionally
+// to degree+1 (the rich-get-richer regime of the paper's social-network
+// motivation), and nothing ever expires.
+type Growth struct {
+	BatchSize int
+	ends      []int32 // one entry per half-edge plus one per vertex
+}
+
+// NewGrowth seeds the degree-proportional sampler from d's current state.
+func NewGrowth(d *DynamicGraph, batchSize int) *Growth {
+	g := &Growth{BatchSize: batchSize, ends: make([]int32, 0, d.N()+4*d.M())}
+	for v := 0; v < d.N(); v++ {
+		g.ends = append(g.ends, int32(v))
+		g.ends = append(g.ends, d.Neighbors(v)...)
+	}
+	return g
+}
+
+// Name implements Workload.
+func (g *Growth) Name() string { return "preferential-growth" }
+
+// Next implements Workload.
+func (g *Growth) Next(d *DynamicGraph, rng *rand.Rand) Batch {
+	var b Batch
+	fresh := make(map[graph.Edge]struct{}, g.BatchSize)
+	for len(b.Insert) < g.BatchSize {
+		var e graph.Edge
+		ok := false
+		for try := 0; try < sampleAttempts; try++ {
+			u := int(g.ends[rng.Intn(len(g.ends))])
+			v := int(g.ends[rng.Intn(len(g.ends))])
+			if u == v {
+				continue
+			}
+			e = graph.NewEdge(u, v)
+			if _, dup := fresh[e]; dup {
+				continue
+			}
+			if d.HasEdge(e.U, e.V) {
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			break
+		}
+		fresh[e] = struct{}{}
+		b.Insert = append(b.Insert, e)
+		g.ends = append(g.ends, int32(e.U), int32(e.V))
+	}
+	return b
+}
+
+// sampleAbsent draws a uniformly random pair that is neither an edge of d
+// nor in exclude, giving up after sampleAttempts rejections.
+func sampleAbsent(d *DynamicGraph, rng *rand.Rand, exclude map[graph.Edge]struct{}) (graph.Edge, bool) {
+	for try := 0; try < sampleAttempts; try++ {
+		u, v := rng.Intn(d.N()), rng.Intn(d.N())
+		if u == v {
+			continue
+		}
+		e := graph.NewEdge(u, v)
+		if _, dup := exclude[e]; dup {
+			continue
+		}
+		if d.HasEdge(e.U, e.V) {
+			continue
+		}
+		return e, true
+	}
+	return graph.Edge{}, false
+}

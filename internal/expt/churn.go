@@ -1,0 +1,181 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// Churn experiment family: dynamic-graph workloads (sliding-window stream,
+// random flips, preferential growth) measured as a sweep over batch size ×
+// churn rate. Rows are batch sizes b (edges updated per epoch); the churn
+// rate axis varies the base density m0 = k*n, so one batch size appears at
+// several relative churn rates b/m0, reported as per-density speedup
+// columns. Each cell runs one (workload, b, k) scenario for several
+// epochs, applying every batch twice over: once through the
+// IncrementalOracle (per-batch triangle deltas) and once as a full static
+// recompute on a fresh snapshot, verifying the maintained count against
+// the recompute at every epoch and the full triangle set at the last. The
+// headline metric is the incremental-vs-full speedup, whose fitted
+// exponent against b should approach -1: incremental work scales with the
+// batch, full recompute does not.
+
+// churnDensities returns the density multipliers k (m0 = k*n) that form
+// the churn-rate axis.
+func (c Config) churnDensities() []int {
+	if c.Quick {
+		return []int{2, 6}
+	}
+	return []int{4, 16}
+}
+
+// churnBatches returns the batch-size rows for a base size n.
+func (c Config) churnBatches(n int) []int {
+	bs := []int{n / 4, n, 4 * n}
+	if c.Quick {
+		bs = []int{n / 2, 2 * n}
+	}
+	out := bs[:0]
+	for _, b := range bs {
+		if b >= 1 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (c Config) churnEpochs() int {
+	if c.Quick {
+		return 4
+	}
+	return 8
+}
+
+// churnCell is the measured result of one (batch, density) scenario.
+type churnCell struct {
+	b, k       int
+	speedup    float64
+	born, died int64
+}
+
+func runChurnWindow(cfg Config) (*Table, error) {
+	return runChurn(cfg, "churn-window", "Dynamic churn: sliding-window edge stream",
+		func(d *dynamic.DynamicGraph, b int) dynamic.Workload {
+			return dynamic.NewSlidingWindow(d, b, d.M())
+		})
+}
+
+func runChurnFlip(cfg Config) (*Table, error) {
+	return runChurn(cfg, "churn-flip", "Dynamic churn: random edge flips",
+		func(d *dynamic.DynamicGraph, b int) dynamic.Workload {
+			return dynamic.NewRandomFlip(b)
+		})
+}
+
+func runChurnGrowth(cfg Config) (*Table, error) {
+	return runChurn(cfg, "churn-growth", "Dynamic churn: preferential growth",
+		func(d *dynamic.DynamicGraph, b int) dynamic.Workload {
+			return dynamic.NewGrowth(d, b)
+		})
+}
+
+// runChurn is the shared sweep: cells are the (batch, density) cross
+// product, fanned across the Config.Workers pool like every other sweep,
+// then reassembled into batch-size rows with one speedup column per
+// density.
+func runChurn(cfg Config, id, title string, mk func(d *dynamic.DynamicGraph, b int) dynamic.Workload) (*Table, error) {
+	sizes := cfg.sizes()
+	n := sizes[len(sizes)-1]
+	bs := cfg.churnBatches(n)
+	ks := cfg.churnDensities()
+	epochs := cfg.churnEpochs()
+
+	cols := []string{"epochs", "born", "died", "verified"}
+	for _, k := range ks {
+		cols = append(cols, speedupCol(k))
+	}
+	t := &Table{
+		ID: id, Title: fmt.Sprintf("%s on n=%d, m0=k*n, %d epochs/cell", title, n, epochs),
+		PaperBound: "incremental delta maintenance vs O(m^{3/2}) static re-listing per epoch",
+		Metric:     speedupCol(ks[len(ks)-1]),
+		Cols:       cols,
+	}
+
+	cells, err := runCells(cfg, len(bs)*len(ks), func(i int) (churnCell, bool, error) {
+		b, k := bs[i/len(ks)], ks[i%len(ks)]
+		cell, err := runChurnCell(cfg.Seed+int64(2000+i), n, b, k, epochs, mk)
+		if err != nil {
+			return churnCell{}, false, fmt.Errorf("%s b=%d k=%d: %w", id, b, k, err)
+		}
+		return cell, true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, b := range bs {
+		vals := map[string]float64{"epochs": float64(epochs), "verified": 1, "born": 0, "died": 0}
+		for _, c := range cells {
+			if c.b != b {
+				continue
+			}
+			vals[speedupCol(c.k)] = c.speedup
+			vals["born"] += float64(c.born)
+			vals["died"] += float64(c.died)
+		}
+		t.AddPoint(b, vals)
+	}
+	// Incremental work grows with the batch while the full recompute does
+	// not, so the speedup should fall off as ~1/b.
+	t.Finalize(func(b int) float64 { return 1 / float64(b) })
+	t.Notes = append(t.Notes,
+		"rows are batch sizes; speedup(m0=k*n) columns are the churn-rate axis (same batch, denser base graph = lower relative churn)",
+		"verified=1: the incremental count matched a fresh static recompute at every epoch, and the full triangle set at the final epoch")
+	return t, nil
+}
+
+func speedupCol(k int) string { return fmt.Sprintf("speedup(m0=%dn)", k) }
+
+// runChurnCell churns one scenario and times the incremental path against
+// the full-recompute path batch by batch.
+func runChurnCell(seed int64, n, b, k, epochs int, mk func(d *dynamic.DynamicGraph, b int) dynamic.Workload) (churnCell, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := dynamic.FromGraph(graph.Gnm(n, k*n, rng))
+	o := dynamic.NewIncrementalOracle(d)
+	w := mk(d, b)
+
+	cell := churnCell{b: b, k: k}
+	var incNs, fullNs int64
+	for ep := 0; ep < epochs; ep++ {
+		batch := w.Next(d, rng)
+		t0 := time.Now()
+		delta, err := o.Apply(batch)
+		incNs += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return cell, err
+		}
+		cell.born += int64(len(delta.Born))
+		cell.died += int64(len(delta.Died))
+		t1 := time.Now()
+		full := o.FullCount()
+		fullNs += time.Since(t1).Nanoseconds()
+		if int64(full) != o.Count() {
+			return cell, fmt.Errorf("epoch %d: incremental count %d, full recompute %d", ep+1, o.Count(), full)
+		}
+	}
+	snap, _ := d.Snapshot()
+	fresh := graph.ListTriangles(snap)
+	graph.SortTriangles(fresh)
+	if !slices.Equal(o.ListTriangles(), fresh) {
+		return cell, fmt.Errorf("final triangle set diverges from fresh oracle")
+	}
+	if incNs <= 0 {
+		incNs = 1
+	}
+	cell.speedup = float64(fullNs) / float64(incNs)
+	return cell, nil
+}

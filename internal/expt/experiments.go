@@ -102,6 +102,12 @@ func Registry() []Experiment {
 			PaperBound: "counting Theta(d_max + D) vs listing O(n^{3/4} log n)", Run: runExtCount},
 		{ID: "ext-test", Title: "Extension: triangle-freeness property tester vs exact finding",
 			PaperBound: "testing O(1) rounds vs finding O(n^{2/3} (log n)^{2/3})", Run: runExtTester},
+		{ID: "churn-window", Title: "Churn: sliding-window stream, incremental oracle vs full recompute",
+			PaperBound: "per-batch delta work << O(m^{3/2}) re-listing", Run: runChurnWindow},
+		{ID: "churn-flip", Title: "Churn: random edge flips, incremental oracle vs full recompute",
+			PaperBound: "per-batch delta work << O(m^{3/2}) re-listing", Run: runChurnFlip},
+		{ID: "churn-growth", Title: "Churn: preferential growth, incremental oracle vs full recompute",
+			PaperBound: "per-batch delta work << O(m^{3/2}) re-listing", Run: runChurnGrowth},
 	}
 }
 

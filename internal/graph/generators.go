@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 )
 
 // Gnp samples an Erdos-Renyi random graph G(n, p): every unordered pair is
@@ -186,35 +188,102 @@ func NearRegular(n, d int, rng *rand.Rand) *Graph {
 	return b.Build()
 }
 
-// GeneratorByName builds one of the named graph families, for CLI use.
-// Supported names: gnp, complete, empty, bipartite, ring, chords, ba,
-// planted, heavy, regular.
-func GeneratorByName(name string, n int, p float64, k int, rng *rand.Rand) (*Graph, error) {
-	switch name {
-	case "gnp":
-		return Gnp(n, p, rng), nil
-	case "complete":
-		return Complete(n), nil
-	case "empty":
-		return Empty(n), nil
-	case "bipartite":
+// Gnm samples a uniform random graph with exactly m distinct edges (the
+// G(n,m) model), capped at the complete graph. It is the stationary
+// distribution of a sliding-window edge stream, which makes it the natural
+// seed graph for window-churn workloads in internal/dynamic.
+func Gnm(n, m int, rng *rand.Rand) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	b := NewBuilder(n)
+	for b.EdgeCount() < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		mustAdd(b, u, v)
+	}
+	return b.Build()
+}
+
+// PreferentialGrowth samples an organic-growth graph over a FIXED vertex
+// set: m edges are added one at a time with both endpoints chosen
+// degree-proportionally (plus one smoothing, so isolated vertices stay
+// reachable). Unlike BarabasiAlbert it never introduces new vertices, so it
+// is the frozen snapshot of the growth-churn workload in internal/dynamic
+// and a natural seed graph for it.
+func PreferentialGrowth(n, m int, rng *rand.Rand) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	b := NewBuilder(n)
+	// ends holds one entry per half-edge plus one per vertex (the +1
+	// smoothing), so ends[rng.Intn] samples proportional to degree+1.
+	ends := make([]int, 0, n+2*m)
+	for v := 0; v < n; v++ {
+		ends = append(ends, v)
+	}
+	for b.EdgeCount() < m {
+		u, v := ends[rng.Intn(len(ends))], ends[rng.Intn(len(ends))]
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		mustAdd(b, u, v)
+		ends = append(ends, u, v)
+	}
+	return b.Build()
+}
+
+// generators is the registry behind GeneratorByName. Each entry interprets
+// the (n, p, k) CLI parameters its own way; see the individual generator
+// docs.
+var generators = map[string]func(n int, p float64, k int, rng *rand.Rand) (*Graph, error){
+	"gnp":      func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return Gnp(n, p, rng), nil },
+	"gnm":      func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return Gnm(n, k, rng), nil },
+	"complete": func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return Complete(n), nil },
+	"empty":    func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return Empty(n), nil },
+	"ring":     func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return Ring(n), nil },
+	"bipartite": func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) {
 		return RandomBipartite(n/2, n-n/2, p, rng), nil
-	case "ring":
-		return Ring(n), nil
-	case "chords":
-		return RingWithChords(n, k, rng), nil
-	case "ba":
-		return BarabasiAlbert(n, k, rng), nil
-	case "planted":
+	},
+	"chords": func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return RingWithChords(n, k, rng), nil },
+	"ba":     func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return BarabasiAlbert(n, k, rng), nil },
+	"growth": func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) {
+		return PreferentialGrowth(n, k, rng), nil
+	},
+	"planted": func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) {
 		g, _ := PlantedTriangles(n, k, rng)
 		return g, nil
-	case "heavy":
+	},
+	"heavy": func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) {
 		return PlantedHeavyEdge(n, k, p, rng), nil
-	case "regular":
-		return NearRegular(n, k, rng), nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q", name)
+	},
+	"regular": func(n int, p float64, k int, rng *rand.Rand) (*Graph, error) { return NearRegular(n, k, rng), nil },
+}
+
+// GeneratorNames returns the registered generator names, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(generators))
+	for name := range generators {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	return names
+}
+
+// GeneratorByName builds one of the named graph families, for CLI use. The
+// k parameter is the edge count for gnm and growth, the attachment degree
+// for ba, and the family-specific integer knob elsewhere. An unknown name
+// is reported together with every registered name.
+func GeneratorByName(name string, n int, p float64, k int, rng *rand.Rand) (*Graph, error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown generator %q (registered: %s)", name, strings.Join(GeneratorNames(), ", "))
+	}
+	return gen(n, p, k, rng)
 }
 
 func mustAdd(b *Builder, u, v int) {

@@ -3,6 +3,7 @@ package graph
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -154,9 +155,58 @@ func TestNearRegularDegreeBounds(t *testing.T) {
 	}
 }
 
+func TestGnm(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := Gnm(40, 200, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 200 {
+		t.Fatalf("m=%d, want exactly 200", g.M())
+	}
+	// Requests beyond the complete graph are capped.
+	if g := Gnm(6, 100, rng); g.M() != 15 {
+		t.Fatalf("over-full Gnm m=%d, want 15", g.M())
+	}
+	if g := Gnm(10, 0, rng); g.M() != 0 {
+		t.Fatal("Gnm(_, 0) produced edges")
+	}
+}
+
+func TestPreferentialGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := PreferentialGrowth(60, 240, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 240 {
+		t.Fatalf("m=%d, want exactly 240", g.M())
+	}
+	// Rich-get-richer sampling should produce a hub well above the mean
+	// degree 2m/n = 8.
+	if g.MaxDegree() < 14 {
+		t.Fatalf("no hub emerged: dmax=%d", g.MaxDegree())
+	}
+	if g := PreferentialGrowth(5, 100, rng); g.M() != 10 {
+		t.Fatalf("over-full growth m=%d, want 10", g.M())
+	}
+}
+
 func TestGeneratorByNameAll(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	for _, name := range []string{"gnp", "complete", "empty", "bipartite", "ring", "chords", "ba", "planted", "heavy", "regular"} {
+	names := GeneratorNames()
+	for _, want := range []string{"gnp", "gnm", "growth", "ba", "regular"} {
+		found := false
+		for _, name := range names {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("generator %q not registered (have %v)", want, names)
+		}
+	}
+	for _, name := range names {
 		g, err := GeneratorByName(name, 24, 0.3, 3, rng)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -168,7 +218,14 @@ func TestGeneratorByNameAll(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if _, err := GeneratorByName("nope", 10, 0.5, 1, rng); err == nil {
+	_, err := GeneratorByName("nope", 10, 0.5, 1, rng)
+	if err == nil {
 		t.Fatal("unknown generator accepted")
+	}
+	// The error must name every registered generator.
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("unknown-generator error omits %q: %v", name, err)
+		}
 	}
 }

@@ -13,6 +13,7 @@
 package graph
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"slices"
@@ -96,6 +97,21 @@ func (t Triangle) ContainsEdge(e Edge) bool {
 // Valid reports whether the triple has three distinct, sorted vertices.
 func (t Triangle) Valid() bool { return t.A < t.B && t.B < t.C && t.A >= 0 }
 
+// CompareTriangles is the canonical (A, B, C) lexicographic order — the
+// one comparator behind every sorted triangle listing in the repository.
+func CompareTriangles(a, b Triangle) int {
+	if a.A != b.A {
+		return cmp.Compare(a.A, b.A)
+	}
+	if a.B != b.B {
+		return cmp.Compare(a.B, b.B)
+	}
+	return cmp.Compare(a.C, b.C)
+}
+
+// SortTriangles sorts ts in the canonical (A, B, C) order.
+func SortTriangles(ts []Triangle) { slices.SortFunc(ts, CompareTriangles) }
+
 // String implements fmt.Stringer.
 func (t Triangle) String() string { return fmt.Sprintf("{%d,%d,%d}", t.A, t.B, t.C) }
 
@@ -177,6 +193,37 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 		}
 	}
 	return b.Build(), nil
+}
+
+// FromCSR builds a Graph directly from CSR slabs, taking ownership of the
+// slices (the caller must not modify them afterwards). offsets must have
+// length n+1 and targets length offsets[n], with each row strictly sorted
+// and the whole structure symmetric and loop-free; the invariants are
+// checked and a violation is returned as an error. This is the fast path
+// for producers that already hold sorted adjacency — e.g. the dynamic-graph
+// subsystem's epoch snapshots — and skips the Builder's edge map entirely.
+func FromCSR(n int, offsets, targets []int32) (*Graph, error) {
+	if n < 0 || len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph: FromCSR offsets length %d for n=%d", len(offsets), n)
+	}
+	if len(targets)%2 != 0 {
+		return nil, fmt.Errorf("graph: FromCSR odd target count %d", len(targets))
+	}
+	g := &Graph{n: n, m: len(targets) / 2, offs: offsets, tgts: targets}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: FromCSR: %w", err)
+	}
+	return g, nil
+}
+
+// FromCSRUnchecked is FromCSR without the O(m log d) invariant check, for
+// producers that maintain sortedness and symmetry structurally — the
+// dynamic-graph subsystem emits one snapshot per churn epoch and keeps
+// both invariants on every single-edge update. A caller that hands over a
+// malformed CSR gets undefined behavior from every consumer; when in any
+// doubt, use FromCSR.
+func FromCSRUnchecked(n int, offsets, targets []int32) *Graph {
+	return &Graph{n: n, m: len(targets) / 2, offs: offsets, tgts: targets}
 }
 
 // N returns the number of vertices.

@@ -35,6 +35,93 @@ func TestEdgeListRoundTrip(t *testing.T) {
 	}
 }
 
+// FuzzEdgeListRoundTrip fuzzes the text format end to end: any input the
+// reader accepts must serialize and re-parse to the identical graph, and
+// inputs the reader rejects must fail deterministically without panicking.
+// The seed corpus pins the interesting shapes: comment lines, blank lines,
+// CRLF, leading/trailing whitespace, and every malformed-header error path.
+func FuzzEdgeListRoundTrip(f *testing.F) {
+	seeds := []string{
+		"n 4\n0 1\n2 3\n",
+		"# leading comment\n\nn 5\n\n0 1\n# mid comment\n1 2\n\n",
+		"  n 6  \n 0 1 \n\t4 5\n",
+		"n 3\r\n0 1\r\n",
+		"n 0\n",
+		"n 1\n",
+		"",                  // empty input: missing header
+		"# only comments\n", // still missing header
+		"0 1\n",             // edge before header
+		"m 4\n0 1\n",        // wrong header tag
+		"n x\n",             // unparseable count
+		"n -3\n",            // negative count
+		"n 4 5\n",           // too many header fields
+		"n 4\n0 1 2\n",      // malformed edge line
+		"n 4\n0 q\n",        // bad endpoint
+		"n 4\n9 0\n",        // out of range
+		"n 4\n2 2\n",        // self-loop
+		"n 4\n0 1\n1 0\n",   // duplicate edge (idempotent, accepted)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of own output %q: %v", buf.String(), err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: n %d->%d, m %d->%d", g.N(), g2.N(), g.M(), g2.M())
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.V) {
+				t.Fatalf("round trip lost edge %v", e)
+			}
+		}
+	})
+}
+
+// FuzzEdgeListDecorated fuzzes the writer side against parser decoration:
+// a generated graph serialized and then sprinkled with comments and blank
+// lines must still parse back to the same graph.
+func FuzzEdgeListDecorated(f *testing.F) {
+	f.Add(int64(1), uint8(12))
+	f.Add(int64(99), uint8(0))
+	f.Add(int64(-7), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, nn uint8) {
+		n := int(nn) % 48
+		g := Gnp(n, 0.3, rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		var dec strings.Builder
+		dec.WriteString("# decorated\n\n")
+		for _, line := range strings.Split(buf.String(), "\n") {
+			dec.WriteString(line + "\n# inline comment\n\n")
+		}
+		g2, err := ReadEdgeList(strings.NewReader(dec.String()))
+		if err != nil {
+			t.Fatalf("decorated parse: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("decoration changed shape: n %d->%d, m %d->%d", g.N(), g2.N(), g.M(), g2.M())
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.V) {
+				t.Fatalf("decoration lost edge %v", e)
+			}
+		}
+	})
+}
+
 func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
 	in := "# a comment\n\nn 4\n0 1\n# another\n2 3\n\n"
 	g, err := ReadEdgeList(strings.NewReader(in))

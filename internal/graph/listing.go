@@ -353,6 +353,28 @@ func (s *OracleScratch) runChunk(c, w int) {
 // []int32 runs — and emits it ascending, so they are interchangeable
 // (fuzz-verified against the plain merge in listing_test.go).
 
+// IntersectInto appends the intersection of two ascending-sorted runs to
+// dst and returns it, dispatching on length skew between the oracle's
+// linear-merge and galloping kernels. It is the exported entry point for
+// consumers outside the static oracle (the incremental triangle oracle in
+// internal/dynamic computes per-edge common neighborhoods through it), so
+// they share one set of fuzz-pinned kernels.
+func IntersectInto(a, b, dst []int32) []int32 { return adaptiveInto(a, b, dst) }
+
+// IntersectCount returns the size of the intersection of two ascending
+// runs without materializing it, using the same kernel dispatch as
+// IntersectInto.
+func IntersectCount(a, b []int32) int { return adaptiveCount(a, b) }
+
+// IntersectBitmap appends to dst the elements of ascending run b whose bit
+// is set in bm (a packed bitmap of the other run), in ascending order —
+// the oracle's branch-free bitmap kernel. The caller owns the bitmap
+// (build it with set bits for one run, clear them after); it pays off when
+// the runs are long enough that the bitmap build amortizes against the
+// merge's branch misses, e.g. the high-degree common-neighborhood queries
+// of the incremental oracle.
+func IntersectBitmap(bm []uint64, b, dst []int32) []int32 { return bitmapInto(bm, b, dst) }
+
 // adaptiveInto dispatches on length skew.
 func adaptiveInto(a, b, dst []int32) []int32 {
 	switch {

@@ -2,7 +2,6 @@ package graph
 
 import (
 	"math"
-	"sort"
 )
 
 // ListTrianglesBrute enumerates T(G) by checking all O(n^3) triples. It is a
@@ -218,15 +217,7 @@ func (s TriangleSet) Slice() []Triangle {
 	for t := range s {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		if out[i].B != out[j].B {
-			return out[i].B < out[j].B
-		}
-		return out[i].C < out[j].C
-	})
+	SortTriangles(out)
 	return out
 }
 
@@ -263,15 +254,7 @@ func TrianglesAmongEdges(edges []Edge) []Triangle {
 	for _, t := range ts {
 		out = append(out, NewTriangle(orig[t.A], orig[t.B], orig[t.C]))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		if out[i].B != out[j].B {
-			return out[i].B < out[j].B
-		}
-		return out[i].C < out[j].C
-	})
+	SortTriangles(out)
 	return out
 }
 

@@ -458,6 +458,69 @@ func (e *Engine) Reset(nodes []Node, seed int64) error {
 	if len(nodes) != len(e.nodes) {
 		return fmt.Errorf("sim: reset with %d nodes for %d-vertex graph", len(nodes), len(e.nodes))
 	}
+	e.clearRun(nodes, seed)
+	return nil
+}
+
+// Input returns the input graph the engine currently simulates.
+func (e *Engine) Input() *graph.Graph { return e.input }
+
+// Rebind re-points the engine at a NEW input graph over the same vertex
+// set — the dynamic-graph epoch-snapshot path — and rewinds it for a fresh
+// run like Reset. The per-channel slabs are resized to the new topology
+// reusing their capacity (and, queue by queue, each queue's buffer), so
+// rebinding across snapshots of comparable density allocates little to
+// nothing: only growth beyond any previously seen edge count pays. In
+// clique mode the communication topology does not depend on the input
+// edges, so only the per-node input views change.
+func (e *Engine) Rebind(input *graph.Graph, nodes []Node, seed int64) error {
+	n := len(e.nodes)
+	if input.N() != n {
+		return fmt.Errorf("sim: rebind to %d-vertex graph on %d-vertex engine", input.N(), n)
+	}
+	if len(nodes) != n {
+		return fmt.Errorf("sim: rebind with %d nodes for %d-vertex graph", len(nodes), n)
+	}
+	// Drain channel state while the edge ids still mean what the queues
+	// think they mean; after the swap the old active lists would index the
+	// wrong channels.
+	e.clearRun(nodes, seed)
+	e.input = input
+	inOffs, inTgts := input.CSR()
+	if e.cfg.Mode != ModeClique {
+		e.commOffs, e.commTgts = inOffs, inTgts
+		ne := len(e.commTgts)
+		// Every queue is empty after clearRun, including ones a previous
+		// rebind sliced away, so growing back over the slab's capacity
+		// recovers their buffers instead of zeroing them.
+		e.queues = e.queues[:cap(e.queues)]
+		for len(e.queues) < ne {
+			e.queues = append(e.queues, wordQueue{})
+		}
+		e.queues = e.queues[:ne]
+		if cap(e.edgeFrom) < ne {
+			e.edgeFrom = make([]int32, ne)
+			e.edgeStamp = make([]uint32, ne)
+		}
+		e.edgeFrom = e.edgeFrom[:ne]
+		e.edgeStamp = e.edgeStamp[:ne]
+		for v := 0; v < n; v++ {
+			for eid := e.commOffs[v]; eid < e.commOffs[v+1]; eid++ {
+				e.edgeFrom[eid] = int32(v)
+			}
+		}
+	}
+	for v, ctx := range e.ctxs {
+		ctx.comm = e.commTgts[e.commOffs[v]:e.commOffs[v+1]]
+		ctx.input = inTgts[inOffs[v]:inOffs[v+1]]
+	}
+	return nil
+}
+
+// clearRun is the shared rewind behind Reset and Rebind: drain active
+// channels, bump the epoch (invalidating every stamp in O(1)), re-seed the
+// node contexts and zero the metrics, keeping every slab allocation.
+func (e *Engine) clearRun(nodes []Node, seed int64) {
 	for _, v := range e.activeRecv {
 		for _, eid := range e.recvActive[v] {
 			q := &e.queues[eid]
@@ -496,7 +559,6 @@ func (e *Engine) Reset(nodes []Node, seed int64) error {
 	clear(e.metrics.PerNodeWordsSent)
 	e.round = 0
 	e.started = false
-	return nil
 }
 
 // Run executes exactly `rounds` rounds (after Init on first call).

@@ -29,8 +29,24 @@ func NewEnginePool(input *graph.Graph, cfg Config) *EnginePool {
 	return &EnginePool{input: input, cfg: cfg.withDefaults()}
 }
 
-// Graph returns the input graph the pool's engines simulate.
-func (p *EnginePool) Graph() *graph.Graph { return p.input }
+// Graph returns the input graph the pool's engines currently simulate.
+func (p *EnginePool) Graph() *graph.Graph {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.input
+}
+
+// Rebind switches the pool to a new input snapshot over the same vertex
+// set (the dynamic-graph churn path: one pool follows a DynamicGraph
+// across epochs). Pooled engines are lazily re-pointed on their next Get
+// via Engine.Rebind, keeping their slab allocations; engines already
+// borrowed finish their run against the old snapshot, which stays valid
+// because snapshots are immutable.
+func (p *EnginePool) Rebind(g *graph.Graph) {
+	p.mu.Lock()
+	p.input = g
+	p.mu.Unlock()
+}
 
 // Config returns the pool's engine configuration.
 func (p *EnginePool) Config() Config { return p.cfg }
@@ -39,6 +55,7 @@ func (p *EnginePool) Config() Config { return p.cfg }
 // and seed, reusing a pooled engine when one is free.
 func (p *EnginePool) Get(nodes []Node, seed int64) (*Engine, error) {
 	p.mu.Lock()
+	input := p.input
 	var e *Engine
 	if n := len(p.free); n > 0 {
 		e = p.free[n-1]
@@ -47,6 +64,14 @@ func (p *EnginePool) Get(nodes []Node, seed int64) (*Engine, error) {
 	}
 	p.mu.Unlock()
 	if e != nil {
+		if e.Input() != input {
+			// The pool was rebound to a newer snapshot since this engine
+			// was pooled; re-point it, reusing its slabs.
+			if err := e.Rebind(input, nodes, seed); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
 		if err := e.Reset(nodes, seed); err != nil {
 			return nil, err
 		}
@@ -54,7 +79,7 @@ func (p *EnginePool) Get(nodes []Node, seed int64) (*Engine, error) {
 	}
 	cfg := p.cfg
 	cfg.Seed = seed
-	return NewEngine(p.input, nodes, cfg)
+	return NewEngine(input, nodes, cfg)
 }
 
 // Put returns an engine to the pool for reuse. Only engines obtained from
