@@ -1,8 +1,8 @@
 // Command experiments regenerates the paper's evaluation: every row of
 // Table 1 of Izumi & Le Gall (PODC'17) plus the lower-bound measurements,
 // the design ablations, and the dynamic-graph churn family (sliding
-// window, random flips, preferential growth; see internal/dynamic), as
-// scaling tables with fitted exponents.
+// window, random flips, preferential growth), as scaling tables with
+// fitted exponents. It is a thin client of the public repro/congest API.
 //
 // Examples:
 //
@@ -14,24 +14,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 
-	"repro/internal/expt"
+	"repro/congest"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the sweep between cells instead of killing mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		exp      = fs.String("exp", "", "comma-separated experiment ids (empty = all); see -list")
@@ -48,31 +53,29 @@ func run(args []string) error {
 		return err
 	}
 	if *list {
-		for _, e := range expt.Registry() {
+		for _, e := range congest.Experiments() {
 			fmt.Printf("%-8s %s [%s]\n", e.ID, e.Title, e.PaperBound)
 		}
 		return nil
 	}
-	cfg := expt.Config{Seed: *seed, Bandwidth: *b, Quick: *quick, Parallel: *parallel, Workers: *workers}
+	spec := congest.SweepSpec{Seed: *seed, Bandwidth: *b, Quick: *quick, Parallel: *parallel, Workers: *workers}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil {
 				return fmt.Errorf("bad size %q: %w", s, err)
 			}
-			cfg.Sizes = append(cfg.Sizes, v)
+			spec.Sizes = append(spec.Sizes, v)
 		}
 	}
-	var selected []expt.Experiment
+	var ids []string
 	if *exp == "" {
-		selected = expt.Registry()
+		for _, e := range congest.Experiments() {
+			ids = append(ids, e.ID)
+		}
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
-			e, err := expt.ByID(strings.TrimSpace(id))
-			if err != nil {
-				return err
-			}
-			selected = append(selected, e)
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
 	if *csvDir != "" {
@@ -80,16 +83,16 @@ func run(args []string) error {
 			return err
 		}
 	}
-	for _, e := range selected {
-		tbl, err := e.Run(cfg)
+	for _, id := range ids {
+		tbl, err := congest.RunExperiment(ctx, id, spec)
 		if err != nil {
-			return fmt.Errorf("experiment %s: %w", e.ID, err)
+			return fmt.Errorf("experiment %s: %w", id, err)
 		}
 		if err := tbl.Render(os.Stdout); err != nil {
 			return err
 		}
 		if *csvDir != "" {
-			f, err := os.Create(filepath.Join(*csvDir, e.ID+".csv"))
+			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
 			if err != nil {
 				return err
 			}

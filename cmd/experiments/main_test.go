@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -15,7 +16,7 @@ func TestRunList(t *testing.T) {
 func TestRunSingleExperimentWithCSV(t *testing.T) {
 	dir := t.TempDir()
 	args := []string{"-exp", "e1,e9", "-sizes", "16,24", "-csv", dir, "-seed", "3"}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{"e1", "e9"} {
@@ -30,10 +31,10 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-exp", "nope"}); err == nil {
+	if err := run(context.Background(), []string{"-exp", "nope"}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{"-sizes", "x,y"}); err == nil {
+	if err := run(context.Background(), []string{"-sizes", "x,y"}); err == nil {
 		t.Fatal("bad sizes accepted")
 	}
 }

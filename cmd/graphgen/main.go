@@ -1,7 +1,8 @@
 // Command graphgen generates benchmark input graphs in the repository's
 // edge-list format and reports their triangle structure (the quantities the
 // paper's algorithms key on: #(e) heaviness census, degree distribution,
-// diameter).
+// diameter). Graph sourcing goes through the public repro/congest spec
+// path; the structural census uses the graph substrate directly.
 //
 // Examples:
 //
@@ -14,11 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 	"sort"
-	"strings"
 
+	"repro/congest"
 	"repro/internal/graph"
 )
 
@@ -31,13 +31,9 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	var gf congest.GraphFlags
+	gf.Register(fs)
 	var (
-		gen   = fs.String("gen", "gnp", "generator: "+strings.Join(graph.GeneratorNames(), "|"))
-		load  = fs.String("load", "", "load an edge-list file instead of generating")
-		n     = fs.Int("n", 64, "number of vertices")
-		p     = fs.Float64("p", 0.5, "edge probability")
-		k     = fs.Int("k", 4, "generator integer parameter")
-		seed  = fs.Int64("seed", 1, "random seed")
 		o     = fs.String("o", "", "write the graph to this file (edge-list format)")
 		stats = fs.Bool("stats", true, "print structural statistics")
 		eps   = fs.Float64("eps", 0.5, "heaviness exponent for the #(e) census")
@@ -45,19 +41,7 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var g *graph.Graph
-	var err error
-	if *load != "" {
-		f, ferr := os.Open(*load)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		g, err = graph.ReadEdgeList(f)
-	} else {
-		rng := rand.New(rand.NewSource(*seed))
-		g, err = graph.GeneratorByName(*gen, *n, *p, *k, rng)
-	}
+	g, err := congest.LoadGraph(gf.Spec())
 	if err != nil {
 		return err
 	}

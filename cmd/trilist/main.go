@@ -1,6 +1,7 @@
 // Command trilist runs a distributed triangle algorithm on a generated or
 // loaded graph and reports the triangles found together with the CONGEST
-// round/communication metrics.
+// round/communication metrics. It is a thin client of the public
+// repro/congest job API.
 //
 // Examples:
 //
@@ -8,19 +9,17 @@
 //	trilist -gen planted -n 90 -k 6 -algo find
 //	trilist -gen gnp -n 48 -p 0.5 -algo dolev
 //	trilist -load graph.txt -algo twohop -show 10
+//	trilist -gen gnm -n 128 -k 512 -algo churn -churn window -epochs 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 
-	"repro/internal/agg"
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/congest"
 )
 
 func main() {
@@ -32,187 +31,97 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("trilist", flag.ContinueOnError)
+	var gf congest.GraphFlags
+	gf.Register(fs)
 	var (
-		gen      = fs.String("gen", "gnp", "generator: gnp|complete|empty|bipartite|ring|chords|ba|planted|heavy|regular")
-		load     = fs.String("load", "", "load an edge-list file instead of generating")
-		n        = fs.Int("n", 64, "number of vertices")
-		p        = fs.Float64("p", 0.5, "edge probability (generator dependent)")
-		k        = fs.Int("k", 4, "generator integer parameter (chords/ba/planted/heavy/regular)")
-		algo     = fs.String("algo", "list", "algorithm: list|find|a1|a2|a3|twohop|local|dolev|dolev-deg|dolev-relay|count|tester|bcast-twohop")
-		seed     = fs.Int64("seed", 1, "random seed")
+		algo     = fs.String("algo", "list", "algorithm: "+strings.Join(congest.AlgorithmNames(), "|"))
 		b        = fs.Int("b", 2, "bandwidth in words per edge per round")
 		eps      = fs.Float64("eps", 0, "heaviness exponent override (0 = algorithm default)")
 		show     = fs.Int("show", 5, "triangles to print (0 = none)")
 		parallel = fs.Bool("parallel", false, "run node state machines on all CPUs")
 		workers  = fs.Int("workers", 0, "centralized-oracle worker pool size (0 = all CPUs)")
 		verify   = fs.Bool("verify", true, "verify output against the centralized oracle")
-		explain  = fs.Bool("explain", false, "print the per-segment round budget (list/find only)")
+		explain  = fs.Bool("explain", false, "print the per-segment round budget")
+		timeout  = fs.Duration("timeout", 0, "cancel the run after this duration (0 = never); a cancelled run prints its deterministic prefix")
+		probes   = fs.Int("probes", 0, "property-tester probe batches (algo tester; 0 = 16)")
+		churnW   = fs.String("churn", "flip", "churn workload (algo churn): window|flip|growth")
+		batch    = fs.Int("batch", 0, "churn batch size (0 = n)")
+		epochs   = fs.Int("epochs", 0, "churn epochs (0 = 4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	var g *graph.Graph
-	var err error
-	if *load != "" {
-		f, ferr := os.Open(*load)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		g, err = graph.ReadEdgeList(f)
-	} else {
-		g, err = graph.GeneratorByName(*gen, *n, *p, *k, rng)
+	spec := congest.JobSpec{
+		Graph:     gf.Spec(),
+		Algo:      *algo,
+		Bandwidth: *b,
+		Seed:      gf.Seed,
+		Eps:       *eps,
+		Probes:    *probes,
+		Parallel:  *parallel,
 	}
-	if err != nil {
+	if !*verify {
+		spec.Verify = congest.VerifyNone
+	}
+	if *algo == "churn" {
+		spec.Churn = &congest.ChurnSpec{Workload: *churnW, BatchSize: *batch, Epochs: *epochs}
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := congest.Run(ctx, spec, congest.WithOracleWorkers(*workers))
+	if err != nil && !res.Meta.Cancelled {
 		return err
 	}
-	st := graph.Degrees(g)
-	// One oracle pass serves the banner, the count check and the summary.
-	oracle := &graph.OracleScratch{Workers: *workers}
-	oracleCount := oracle.CountTriangles(g)
-	fmt.Printf("graph: n=%d m=%d dmax=%d dmean=%.1f triangles=%d\n",
-		g.N(), g.M(), st.Max, st.Mean, oracleCount)
-
-	mode := sim.ModeCONGEST
-	var res core.Result
-	epsOr := func(def float64) float64 {
-		if *eps > 0 {
-			return *eps
-		}
-		return def
+	banner := fmt.Sprintf("graph: n=%d m=%d dmax=%d dmean=%.1f",
+		res.Graph.N, res.Graph.M, res.Graph.MaxDegree, res.Graph.MeanDegree)
+	if res.Verify != nil && res.Verify.OracleTriangles != nil {
+		banner += fmt.Sprintf(" triangles=%d", *res.Verify.OracleTriangles)
 	}
-	cfg := func(m sim.Mode) sim.Config {
-		return sim.Config{Mode: m, BandwidthWords: *b, Seed: *seed, Parallel: *parallel}
-	}
-	params := func(def float64) core.Params {
-		return core.Params{N: g.N(), Eps: epsOr(def), B: *b}
-	}
-	printPlan := func(segs []core.Segment) {
-		if !*explain {
-			return
-		}
-		total := 0
-		for _, sp := range core.Plan(segs) {
+	fmt.Println(banner)
+	if *explain {
+		for _, sp := range res.Meta.Segments {
 			fmt.Printf("plan:  %-8s %6d rounds\n", sp.Name, sp.Rounds)
-			total += sp.Rounds
 		}
-		fmt.Printf("plan:  total    %6d rounds\n", total)
+		fmt.Printf("plan:  total    %6d rounds\n", res.Meta.ScheduledRounds)
 	}
-	switch *algo {
-	case "list":
-		var segs []core.Segment
-		segs, err = core.NewLister(g.N(), *b, core.ListerOptions{Eps: *eps})
-		if err != nil {
-			return err
-		}
-		printPlan(segs)
-		res, err = core.RunSequence(g, segs, cfg(mode))
-	case "find":
-		var segs []core.Segment
-		segs, err = core.NewFinder(g.N(), *b, core.FinderOptions{Eps: *eps})
-		if err != nil {
-			return err
-		}
-		printPlan(segs)
-		res, err = core.RunSequence(g, segs, cfg(mode))
-	case "a1":
-		sched, mk := core.NewA1(params(core.EpsFindingPure))
-		res, err = core.RunSingle(g, sched, mk, cfg(mode))
-	case "a2":
-		var sched *sim.Schedule
-		var mk func(int) sim.Node
-		sched, mk, err = core.NewA2(params(core.EpsListingPure))
-		if err == nil {
-			res, err = core.RunSingle(g, sched, mk, cfg(mode))
-		}
-	case "a3":
-		sched, mk := core.NewA3(params(core.EpsListingPure))
-		res, err = core.RunSingle(g, sched, mk, cfg(mode))
-	case "twohop":
-		sched, mk := baseline.NewTwoHop(g.N(), *b, g.MaxDegree(), baseline.TwoHopGlobal)
-		res, err = core.RunSingle(g, sched, mk, cfg(mode))
-	case "local":
-		sched, mk := baseline.NewTwoHop(g.N(), *b, g.MaxDegree(), baseline.TwoHopLocal)
-		res, err = core.RunSingle(g, sched, mk, cfg(mode))
-	case "dolev", "dolev-deg", "dolev-relay":
-		variant := baseline.DolevCubeRoot
-		if *algo == "dolev-deg" {
-			variant = baseline.DolevDegreeAware
-		}
-		routing := baseline.DirectRouting
-		if *algo == "dolev-relay" {
-			routing = baseline.RelayRouting
-		}
-		var sched *sim.Schedule
-		var mk func(int) sim.Node
-		sched, mk, err = baseline.NewDolevRouted(g, *b, variant, routing)
-		if err == nil {
-			mode = sim.ModeClique
-			res, err = core.RunSingle(g, sched, mk, cfg(mode))
-		}
-	case "bcast-twohop":
-		sched, mk := baseline.NewTwoHop(g.N(), *b, g.MaxDegree(), baseline.TwoHopGlobal)
-		mode = sim.ModeBroadcast
-		res, err = core.RunSingle(g, sched, mk, cfg(mode))
-	case "tester":
-		_, res, err = core.TestTriangleFreeness(g, *k*4, cfg(mode))
-	case "count":
-		var cres agg.CountResult
-		cres, err = agg.CountTriangles(g, 0, cfg(mode))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("run:   rounds=%d words=%d bits=%d\n",
-			cres.Rounds, cres.Metrics.WordsDelivered, cres.Metrics.TotalBits())
-		fmt.Printf("out:   exact triangle count at root 0 = %d (oracle %d)\n",
-			cres.Count, oracleCount)
-		if int(cres.Count) != oracleCount {
-			return fmt.Errorf("count mismatch")
-		}
-		fmt.Println("check: count exact")
-		return nil
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	if res.Meta.Cancelled {
+		fmt.Printf("run:   CANCELLED after %d of %d rounds (deterministic prefix follows)\n",
+			res.Meta.ExecutedRounds, res.Meta.ScheduledRounds)
 	}
-	if err != nil {
-		return err
+	if res.Churn != nil {
+		fmt.Printf("churn: workload=%s epochs=%d born=%d died=%d finalCount=%d\n",
+			res.Churn.Workload, res.Churn.Epochs, res.Churn.Born, res.Churn.Died, res.Churn.FinalCount)
+	} else {
+		fmt.Printf("run:   rounds=%d activeRounds=%d words=%d bits=%d maxNodeRecvBits=%d\n",
+			res.Meta.ScheduledRounds, res.Metrics.ActiveRounds,
+			res.Metrics.WordsDelivered, res.Metrics.TotalBits, res.Metrics.MaxNodeRecvBits)
 	}
-
-	_, maxRecv := res.Metrics.MaxBitsReceived()
-	fmt.Printf("run:   rounds=%d activeRounds=%d words=%d bits=%d maxNodeRecvBits=%d\n",
-		res.ScheduledRounds, res.Metrics.ActiveRounds,
-		res.Metrics.WordsDelivered, res.Metrics.TotalBits(), maxRecv)
-	fmt.Printf("out:   distinct triangles=%d\n", len(res.Union))
-	if *show > 0 {
-		for i, t := range res.Union.Slice() {
-			if i >= *show {
-				fmt.Printf("       ... (%d more)\n", len(res.Union)-*show)
-				break
+	if *algo == "count" {
+		fmt.Printf("out:   exact triangle count at root 0 = %d\n", res.Count)
+	} else {
+		fmt.Printf("out:   distinct triangles=%d\n", res.TriangleCount)
+		if *show > 0 {
+			for i, t := range res.Triangles {
+				if i >= *show {
+					fmt.Printf("       ... (%d more)\n", res.TriangleCount-*show)
+					break
+				}
+				fmt.Printf("       {%d,%d,%d}\n", t[0], t[1], t[2])
 			}
-			fmt.Printf("       %v\n", t)
 		}
 	}
-	if *verify {
-		if err := core.VerifyOneSided(g, res); err != nil {
-			return fmt.Errorf("one-sided check FAILED: %w", err)
+	if res.Verify != nil {
+		if res.Verify.OK {
+			fmt.Printf("check: %s OK\n", res.Verify.Mode)
+		} else {
+			fmt.Printf("check: %s FAILED (probabilistic miss or bug): %s\n", res.Verify.Mode, res.Verify.Detail)
 		}
-		fmt.Println("check: one-sided OK (every output is a real triangle)")
-		switch *algo {
-		case "list", "twohop", "local", "dolev", "dolev-deg":
-			// The ground-truth pass reuses the banner's scratch, so it
-			// honors -workers.
-			if err := core.VerifyListingAgainst(g, oracle.ListTriangles(g), res); err != nil {
-				fmt.Printf("check: listing INCOMPLETE (probabilistic): %v\n", err)
-			} else {
-				fmt.Println("check: listing complete")
-			}
-		case "find":
-			if err := core.VerifyFindingWithCount(g, oracleCount, res); err != nil {
-				fmt.Printf("check: finding MISSED (probabilistic): %v\n", err)
-			} else {
-				fmt.Println("check: finding OK")
-			}
+		if res.Verify.Mode == "count" && !res.Verify.OK {
+			return fmt.Errorf("count mismatch: %s", res.Verify.Detail)
 		}
 	}
 	return nil

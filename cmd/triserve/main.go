@@ -1,0 +1,219 @@
+// Command triserve serves the repro/congest job API over HTTP JSON: a
+// production-shaped front end that multiplexes concurrent triangle
+// finding/listing/counting/churn jobs over one congest.Service with
+// per-request cancellation (dropping a connection cancels its synchronous
+// job at the next round boundary).
+//
+// Endpoints:
+//
+//	GET    /healthz          liveness
+//	GET    /v1/algorithms    registered algorithm names
+//	GET    /v1/generators    registered graph generator names
+//	GET    /v1/experiments   registered experiment sweeps
+//	POST   /v1/run           run one JobSpec synchronously, return its Result
+//	POST   /v1/jobs          submit one JobSpec asynchronously, return {id}
+//	GET    /v1/jobs          list submitted jobs
+//	GET    /v1/jobs/{id}     one job's status plus Result once done
+//	DELETE /v1/jobs/{id}     cancel a job (its prefix result stays readable)
+//
+// Job specs are decoded strictly: unknown fields are a 400, not a silent
+// default. Results are bit-identical to single-job runs of the same spec.
+//
+// Example:
+//
+//	triserve -addr :8080 -workers 4 -max-n 4096 &
+//	curl -s localhost:8080/v1/run -d \
+//	  '{"graph":{"generator":"gnp","n":64,"p":0.5,"seed":1},"algo":"find","seed":7}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/congest"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "triserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("triserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 0, "concurrent job budget (0 = all CPUs)")
+		maxN    = fs.Int("max-n", 1<<14, "largest admissible graph (vertices); 0 = unlimited")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc := congest.NewService(congest.WithWorkers(*workers), congest.WithMaxVertices(*maxN))
+	defer svc.Close()
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "triserve: listening on %s\n", *addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return server.Shutdown(shutCtx)
+	}
+}
+
+// maxBodyBytes bounds request bodies; specs are small (inline edge lists
+// included) and anything bigger is abuse.
+const maxBodyBytes = 4 << 20
+
+// jobView is the wire form of a job's state.
+type jobView struct {
+	ID     string            `json:"id"`
+	Status congest.JobStatus `json:"status"`
+	Spec   congest.JobSpec   `json:"spec"`
+	Result *congest.Result   `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+func viewOf(j *congest.Job) jobView {
+	v := jobView{ID: j.ID(), Status: j.Status(), Spec: j.Spec()}
+	if res, err, terminal := j.Result(); terminal {
+		r := res
+		v.Result = &r
+		if err != nil {
+			v.Error = err.Error()
+		}
+	}
+	return v
+}
+
+// newMux builds the HTTP API over one service. Split from run() so tests
+// drive it through httptest without binding a port.
+func newMux(svc *congest.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, congest.AlgorithmNames())
+	})
+	mux.HandleFunc("GET /v1/generators", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, congest.GeneratorNames())
+	})
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, congest.Experiments())
+	})
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		spec, ok := readSpec(w, r)
+		if !ok {
+			return
+		}
+		// Synchronous runs go through the same Service as async ones, so the
+		// -workers budget bounds them too. The request context cancels the
+		// job when the client goes away; the deterministic prefix is still
+		// returned (with meta.cancelled set) in case the write still
+		// reaches someone.
+		j, err := svc.Submit(spec)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			j.Cancel()
+			<-j.Done()
+		}
+		res, err, _ := j.Result()
+		if err != nil && !res.Meta.Cancelled {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		spec, ok := readSpec(w, r)
+		if !ok {
+			return
+		}
+		j, err := svc.Submit(spec)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, viewOf(j))
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := svc.Jobs()
+		views := make([]jobView, len(jobs))
+		for i, j := range jobs {
+			views[i] = viewOf(j)
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		j.Cancel()
+		<-j.Done()
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+	return mux
+}
+
+// readSpec decodes a strict JobSpec body, answering 400 on any shape
+// problem (unknown fields included).
+func readSpec(w http.ResponseWriter, r *http.Request) (congest.JobSpec, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return congest.JobSpec{}, false
+	}
+	spec, err := congest.ParseJobSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return congest.JobSpec{}, false
+	}
+	return spec, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

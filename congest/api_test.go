@@ -1,0 +1,39 @@
+package congest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestAPISurfaceGolden diffs the package's exported API (go doc output)
+// against testdata/api.golden, so any accidental surface change — a
+// renamed field, a dropped method, a new export — fails CI visibly.
+// Regenerate after an intentional change with:
+//
+//	UPDATE_API=1 go test ./congest -run TestAPISurfaceGolden
+func TestAPISurfaceGolden(t *testing.T) {
+	cmd := exec.Command("go", "doc", "-all", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go doc: %v\n%s", err, out)
+	}
+	golden := filepath.Join("testdata", "api.golden")
+	if os.Getenv("UPDATE_API") != "" {
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, len(out))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_API=1 to create): %v", err)
+	}
+	if string(out) != string(want) {
+		t.Errorf("public API surface drifted from %s.\n"+
+			"If the change is intentional, regenerate with UPDATE_API=1 go test ./congest -run TestAPISurfaceGolden.\n"+
+			"--- current ---\n%s", golden, out)
+	}
+}

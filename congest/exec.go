@@ -1,0 +1,371 @@
+package congest
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"repro/internal/agg"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/lower"
+	"repro/internal/sim"
+)
+
+// modeFor maps an algorithm to its communication topology.
+func modeFor(algo string) sim.Mode {
+	switch algo {
+	case "dolev", "dolev-deg", "dolev-relay":
+		return sim.ModeClique
+	case "bcast-twohop":
+		return sim.ModeBroadcast
+	default:
+		return sim.ModeCONGEST
+	}
+}
+
+// completeListers are the algorithms whose contract is listing T(G)
+// entirely (the auto-verify listing set).
+var completeListers = map[string]bool{
+	"list": true, "twohop": true, "local": true, "dolev": true,
+	"dolev-deg": true, "dolev-relay": true, "bcast-twohop": true,
+}
+
+// verifyModeFor resolves a spec's verification mode to the check that will
+// run ("" means skip).
+func verifyModeFor(spec JobSpec) string {
+	switch spec.Verify {
+	case VerifyNone:
+		return ""
+	case VerifyOneSided, VerifyListing, VerifyFinding:
+		if spec.Algo == "count" || spec.Algo == "churn" {
+			break // these have exactly one meaningful check
+		}
+		return spec.Verify
+	}
+	switch {
+	case spec.Algo == "count":
+		return "count"
+	case spec.Algo == "churn":
+		return "churn"
+	case completeListers[spec.Algo]:
+		return VerifyListing
+	case spec.Algo == "find":
+		return VerifyFinding
+	default:
+		return VerifyOneSided
+	}
+}
+
+// bandwidth resolves the spec's B.
+func (s JobSpec) bandwidth() int {
+	if s.Bandwidth > 0 {
+		return s.Bandwidth
+	}
+	return 2
+}
+
+// epsFor resolves the heaviness exponent a spec implies for an algorithm
+// with default exponent (pure, logCorrected) semantics.
+func epsFor(spec JobSpec, n int, pure float64, logCorrected func(int) float64) float64 {
+	if spec.Eps > 0 {
+		return spec.Eps
+	}
+	if spec.LogCorrected {
+		return logCorrected(n)
+	}
+	return pure
+}
+
+// runJob dispatches one validated job.
+func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Result, error) {
+	if spec.Algo == "churn" {
+		return s.runChurn(ctx, spec, obs)
+	}
+	sg, err := s.graphFor(spec.Graph)
+	if err != nil {
+		return Result{}, err
+	}
+	g := sg.g
+	n := g.N()
+	b := spec.bandwidth()
+	cfg := sim.Config{Mode: modeFor(spec.Algo), BandwidthWords: b, Seed: spec.Seed, Parallel: spec.Parallel}
+	if spec.Algo == "count" {
+		return s.runCount(ctx, spec, g, cfg)
+	}
+
+	cobs := coreObs(obs)
+	run := sg.runner(cfg)
+	var res core.Result
+	var runErr error
+	eps, reps := 0.0, 0
+	switch spec.Algo {
+	case "list":
+		opt := core.ListerOptions{Eps: spec.Eps, RepetitionsOverride: spec.Repetitions, LogCorrected: spec.LogCorrected}
+		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		reps = opt.Repetitions(n)
+		var segs []core.Segment
+		if segs, err = core.NewLister(n, b, opt); err != nil {
+			return Result{}, err
+		}
+		res, runErr = run.RunSequenceContext(ctx, segs, spec.Seed, cobs)
+	case "find":
+		opt := core.FinderOptions{Eps: spec.Eps, Repetitions: spec.Repetitions, LogCorrected: spec.LogCorrected}
+		eps = epsFor(spec, n, core.EpsFindingPure, core.EpsFindingLogCorrected)
+		if reps = spec.Repetitions; reps <= 0 {
+			reps = 5
+		}
+		var segs []core.Segment
+		if segs, err = core.NewFinder(n, b, opt); err != nil {
+			return Result{}, err
+		}
+		res, runErr = run.RunSequenceContext(ctx, segs, spec.Seed, cobs)
+	case "a1":
+		eps = epsFor(spec, n, core.EpsFindingPure, core.EpsFindingLogCorrected)
+		sched, mk := core.NewA1(core.Params{N: n, Eps: eps, B: b})
+		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
+	case "a2":
+		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		sched, mk, err := core.NewA2(core.Params{N: n, Eps: eps, B: b})
+		if err != nil {
+			return Result{}, err
+		}
+		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
+	case "a3":
+		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		sched, mk := core.NewA3(core.Params{N: n, Eps: eps, B: b})
+		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
+	case "axr":
+		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		sched, mk := core.NewAXR(core.Params{N: n, Eps: eps, B: b}, core.AXROptions{})
+		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
+	case "twohop", "local", "bcast-twohop":
+		tmode := baseline.TwoHopGlobal
+		if spec.Algo == "local" {
+			tmode = baseline.TwoHopLocal
+		}
+		sched, mk := baseline.NewTwoHop(n, b, g.MaxDegree(), tmode)
+		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
+	case "dolev", "dolev-deg", "dolev-relay":
+		variant := baseline.DolevCubeRoot
+		if spec.Algo == "dolev-deg" {
+			variant = baseline.DolevDegreeAware
+		}
+		routing := baseline.DirectRouting
+		if spec.Algo == "dolev-relay" {
+			routing = baseline.RelayRouting
+		}
+		sched, mk, err := baseline.NewDolevRouted(g, b, variant, routing)
+		if err != nil {
+			return Result{}, err
+		}
+		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
+	case "tester":
+		probes := spec.Probes
+		if probes <= 0 {
+			probes = 16
+		}
+		sched, mk := core.NewPropertyTester(n, b, probes)
+		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
+	default:
+		return Result{}, fmt.Errorf("congest: unhandled algorithm %q", spec.Algo)
+	}
+	if runErr != nil && !res.Meta.Cancelled {
+		return Result{}, runErr
+	}
+
+	out := Result{
+		Meta:          metaOf(spec.Algo, res.Meta, eps, reps),
+		Graph:         graphInfoOf(g),
+		Metrics:       metricsOf(res.Metrics),
+		Found:         len(res.Union) > 0,
+		TriangleCount: len(res.Union),
+		Triangles:     trianglesOf(res.Union, spec.MaxTriangles),
+	}
+	if runErr != nil {
+		// Cancelled: the prefix result stands; verification would report a
+		// meaningless incomplete listing, so it is skipped.
+		return out, runErr
+	}
+	if mode := verifyModeFor(spec); mode != "" {
+		out.Verify = s.verify(mode, g, res)
+	}
+	if spec.LowerBound {
+		out.LowerBound = lowerBoundOf(g, res)
+	}
+	return out, nil
+}
+
+// verify runs the selected check against the centralized oracle.
+func (s *Session) verify(mode string, g *graph.Graph, res core.Result) *VerifyReport {
+	rep := &VerifyReport{Mode: mode, OK: true}
+	fail := func(err error) {
+		rep.OK = false
+		rep.Detail = err.Error()
+	}
+	oracle := &graph.OracleScratch{Workers: s.opts.oracleWorkers}
+	switch mode {
+	case VerifyOneSided:
+		if err := core.VerifyOneSided(g, res); err != nil {
+			fail(err)
+		}
+	case VerifyListing:
+		truth := oracle.ListTriangles(g)
+		count := len(truth)
+		rep.OracleTriangles = &count
+		if err := core.VerifyListingAgainst(g, truth, res); err != nil {
+			fail(err)
+		}
+	case VerifyFinding:
+		count := oracle.CountTriangles(g)
+		rep.OracleTriangles = &count
+		if err := core.VerifyFindingWithCount(g, count, res); err != nil {
+			fail(err)
+		}
+	}
+	return rep
+}
+
+// runCount executes the exact-counting job (quiescence-driven, so its
+// schedule is data dependent).
+func (s *Session) runCount(ctx context.Context, spec JobSpec, g *graph.Graph, cfg sim.Config) (Result, error) {
+	cres, err := agg.CountTrianglesContext(ctx, g, 0, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Meta: RunMeta{
+			Algo: spec.Algo, Seed: spec.Seed, Bandwidth: spec.bandwidth(),
+			Mode: modeName(cfg.Mode), Parallel: spec.Parallel,
+			ScheduledRounds: cres.Rounds, ExecutedRounds: cres.Rounds,
+		},
+		Graph:   graphInfoOf(g),
+		Metrics: metricsOf(cres.Metrics),
+		Found:   cres.Count > 0,
+		Count:   cres.Count,
+	}
+	if verifyModeFor(spec) != "" {
+		oracle := &graph.OracleScratch{Workers: s.opts.oracleWorkers}
+		count := oracle.CountTriangles(g)
+		rep := &VerifyReport{Mode: "count", OK: int64(count) == cres.Count, OracleTriangles: &count}
+		if !rep.OK {
+			rep.Detail = fmt.Sprintf("distributed count %d, oracle %d", cres.Count, count)
+		}
+		out.Verify = rep
+	}
+	return out, nil
+}
+
+// runChurn executes the dynamic-graph churn job: the graph spec seeds a
+// DynamicGraph, the workload generates one batch per epoch, and the
+// incremental oracle maintains the triangle set. Each epoch is reported to
+// the observer as a segment; born triangles stream through OnTriangle with
+// node -1. Cancellation is honored at epoch boundaries.
+func (s *Session) runChurn(ctx context.Context, spec JobSpec, obs Observer) (Result, error) {
+	sg, err := s.graphFor(spec.Graph)
+	if err != nil {
+		return Result{}, err
+	}
+	cs := *spec.Churn
+	if cs.BatchSize <= 0 {
+		cs.BatchSize = sg.g.N()
+	}
+	if cs.Epochs <= 0 {
+		cs.Epochs = 4
+	}
+	// Every churn job mutates its own copy of the seed graph; the cached
+	// graph is never touched.
+	d := dynamic.FromGraph(sg.g)
+	o := dynamic.NewIncrementalOracle(d)
+	w, err := dynamic.NewWorkloadByName(cs.Workload, d, cs.BatchSize, cs.Window)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	verifying := verifyModeFor(spec) != ""
+	rep := &VerifyReport{Mode: "churn", OK: true}
+	churn := &ChurnResult{Workload: cs.Workload}
+	var runErr error
+	for ep := 0; ep < cs.Epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		if obs != nil {
+			obs.OnSegment(SegmentInfo{Index: ep, Name: fmt.Sprintf("epoch#%d", ep)})
+		}
+		delta, err := o.Apply(w.Next(d, rng))
+		if err != nil {
+			return Result{}, err
+		}
+		churn.Epochs++
+		churn.Born += int64(len(delta.Born))
+		churn.Died += int64(len(delta.Died))
+		if obs != nil {
+			for _, t := range delta.Born {
+				obs.OnTriangle(-1, Triangle{t.A, t.B, t.C})
+			}
+		}
+		if verifying && rep.OK {
+			if full := o.FullCount(); int64(full) != o.Count() {
+				rep.OK = false
+				rep.Detail = fmt.Sprintf("epoch %d: incremental count %d, full recompute %d", ep, o.Count(), full)
+			}
+		}
+	}
+	churn.FinalCount = o.Count()
+	final := o.ListTriangles()
+	out := Result{
+		Meta: RunMeta{
+			Algo: spec.Algo, Seed: spec.Seed, Bandwidth: spec.bandwidth(),
+			Mode: "dynamic", Cancelled: runErr != nil,
+		},
+		Graph:         graphInfoOf(sg.g),
+		Found:         len(final) > 0,
+		TriangleCount: len(final),
+		Triangles:     trianglesOf(graph.NewTriangleSet(final), spec.MaxTriangles),
+		Churn:         churn,
+	}
+	if runErr != nil {
+		return out, runErr
+	}
+	if verifying {
+		if rep.OK {
+			snap, _ := d.Snapshot()
+			fresh := graph.ListTriangles(snap)
+			graph.SortTriangles(fresh)
+			count := len(fresh)
+			rep.OracleTriangles = &count
+			if !slices.Equal(final, fresh) {
+				rep.OK = false
+				rep.Detail = "final triangle set diverges from fresh oracle"
+			}
+		}
+		out.Verify = rep
+	}
+	return out, nil
+}
+
+// lowerBoundOf runs the Theorem-3 information-chain analysis on a finished
+// run.
+func lowerBoundOf(g *graph.Graph, res core.Result) *LowerBoundReport {
+	r := lower.Analyze(g, res.Outputs, res.Metrics)
+	out := &LowerBoundReport{
+		WNode:         r.WNode,
+		TW:            r.TW,
+		PTW:           r.PTW,
+		BitsReceivedW: r.BitsReceivedW,
+		InfoFloorBits: r.InfoFloorBits,
+		RivinFloor:    r.RivinFloor,
+		RoundFloor:    r.RoundFloor,
+		OK:            true,
+	}
+	if err := r.Check(); err != nil {
+		out.OK = false
+		out.Detail = err.Error()
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package congest
+
+import (
+	"flag"
+	"strings"
+)
+
+// GraphFlags is the shared -gen/-load/-n/-p/-k/-gseed flag block for CLIs
+// that take a graph input (cmd/trilist, cmd/graphgen), replacing the
+// copies each command used to carry. Register the flags, parse, then read
+// Spec.
+type GraphFlags struct {
+	Gen  string
+	Load string
+	N    int
+	P    float64
+	K    int
+	Seed int64
+}
+
+// Register installs the flag block on fs with the given defaults already
+// set on f (zero values select gnp/n=64/p=0.5/k=4/seed=1).
+func (f *GraphFlags) Register(fs *flag.FlagSet) {
+	if f.Gen == "" {
+		f.Gen = "gnp"
+	}
+	if f.N == 0 {
+		f.N = 64
+	}
+	if f.P == 0 {
+		f.P = 0.5
+	}
+	if f.K == 0 {
+		f.K = 4
+	}
+	if f.Seed == 0 {
+		f.Seed = 1
+	}
+	fs.StringVar(&f.Gen, "gen", f.Gen, "generator: "+strings.Join(GeneratorNames(), "|"))
+	fs.StringVar(&f.Load, "load", f.Load, "load an edge-list file instead of generating")
+	fs.IntVar(&f.N, "n", f.N, "number of vertices")
+	fs.Float64Var(&f.P, "p", f.P, "edge probability (generator dependent)")
+	fs.IntVar(&f.K, "k", f.K, "generator integer parameter")
+	fs.Int64Var(&f.Seed, "seed", f.Seed, "random seed (graph generation and engine)")
+}
+
+// Spec returns the GraphSpec the parsed flags describe: the loaded file
+// when -load is set, the generator otherwise.
+func (f *GraphFlags) Spec() GraphSpec {
+	if f.Load != "" {
+		return GraphSpec{File: f.Load}
+	}
+	return GraphSpec{Generator: f.Gen, N: f.N, P: f.P, K: f.K, Seed: f.Seed}
+}

@@ -1,0 +1,69 @@
+package congest
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// SegmentInfo announces one segment of a run's schedule (for churn jobs,
+// one epoch) to an Observer.
+type SegmentInfo struct {
+	// Index is the segment's position (0-based).
+	Index int `json:"index"`
+	// Name is the segment name (e.g. "a2#3"; "run" for single-schedule
+	// runs; "epoch#k" for churn).
+	Name string `json:"name"`
+	// StartRound is the engine round at which the segment begins.
+	StartRound int `json:"startRound"`
+	// Rounds is the segment's scheduled duration.
+	Rounds int `json:"rounds"`
+}
+
+// RoundDelta is the communication that moved during one round.
+type RoundDelta struct {
+	Messages int64 `json:"messages"`
+	Words    int64 `json:"words"`
+	Moved    bool  `json:"moved"`
+}
+
+// Observer streams a job's progress as it runs, instead of (or in addition
+// to) the materialized Result. The callbacks fire synchronously on the
+// run's own goroutine, in a deterministic order independent of engine
+// parallelism: OnSegment before a segment's first round, OnRound after
+// every executed round, OnTriangle once per recorded output in ascending
+// node order within a round (duplicates included; the Result union
+// deduplicates). Churn jobs report each epoch as a segment and each BORN
+// triangle through OnTriangle with node -1.
+//
+// The materialized Result is assembled from this same stream, so an
+// observer sees exactly what the Result will hold — including the prefix
+// delivered before a cancellation.
+type Observer interface {
+	OnSegment(seg SegmentInfo)
+	OnRound(round int, d RoundDelta)
+	OnTriangle(node int, t Triangle)
+}
+
+// obsAdapter bridges the public Observer to the internal core.Observer.
+type obsAdapter struct{ obs Observer }
+
+// coreObs wraps a public observer for internal runs; nil stays nil.
+func coreObs(obs Observer) core.Observer {
+	if obs == nil {
+		return nil
+	}
+	return obsAdapter{obs: obs}
+}
+
+func (a obsAdapter) OnSegment(info core.SegmentInfo) {
+	a.obs.OnSegment(SegmentInfo{Index: info.Index, Name: info.Name, StartRound: info.StartRound, Rounds: info.Rounds})
+}
+
+func (a obsAdapter) OnRound(round int, d sim.RoundDelta) {
+	a.obs.OnRound(round, RoundDelta{Messages: d.Messages, Words: d.Words, Moved: d.Moved})
+}
+
+func (a obsAdapter) OnTriangle(node int, t graph.Triangle) {
+	a.obs.OnTriangle(node, Triangle{t.A, t.B, t.C})
+}

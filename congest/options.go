@@ -1,0 +1,59 @@
+package congest
+
+import "runtime"
+
+// options is the resolved functional-option state shared by Session and
+// Service.
+type options struct {
+	workers       int // concurrent jobs a Service runs; 0 = GOMAXPROCS
+	oracleWorkers int // verification oracle pool; 0 = GOMAXPROCS
+	maxVertices   int // 0 = unlimited
+	jobHistory    int // terminal jobs a Service retains; 0 = default, <0 = unlimited
+}
+
+// Option configures a Session, Service or one-shot Run with the functional
+// options pattern.
+type Option func(*options)
+
+// WithWorkers bounds how many jobs a Service executes concurrently
+// (default: GOMAXPROCS). Sessions ignore it; their concurrency is the
+// caller's.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithOracleWorkers bounds the centralized-oracle worker pool used by
+// verification passes. The default is all CPUs for a Session (one job at a
+// time deserves the whole machine) and 1 for a Service (verification runs
+// inside already-concurrent jobs, where a nested GOMAXPROCS-wide oracle
+// would oversubscribe the CPU).
+func WithOracleWorkers(n int) Option {
+	return func(o *options) { o.oracleWorkers = n }
+}
+
+// WithMaxVertices rejects jobs whose graph exceeds n vertices — the
+// admission-control knob for servers. Declared sizes (generator and inline
+// specs) are rejected before the graph is ever built. Zero (the default)
+// admits any size.
+func WithMaxVertices(n int) Option {
+	return func(o *options) { o.maxVertices = n }
+}
+
+// WithJobHistory bounds how many finished jobs a Service retains (their
+// Results included): once exceeded, the oldest terminal jobs are evicted
+// at the next submission. Queued and running jobs are never evicted. The
+// default is 512; negative means unlimited.
+func WithJobHistory(n int) Option {
+	return func(o *options) { o.jobHistory = n }
+}
+
+func resolveOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers <= 0 {
+		o.workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}

@@ -1,0 +1,249 @@
+package congest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// JobStatus is a Job's lifecycle state.
+type JobStatus string
+
+const (
+	// JobQueued: submitted, waiting for a worker slot.
+	JobQueued JobStatus = "queued"
+	// JobRunning: executing.
+	JobRunning JobStatus = "running"
+	// JobDone: finished with a result.
+	JobDone JobStatus = "done"
+	// JobCancelled: stopped by Cancel or service shutdown; the result holds
+	// the deterministic prefix of the uncancelled run.
+	JobCancelled JobStatus = "cancelled"
+	// JobFailed: could not run (bad graph file, impossible parameters, ...).
+	JobFailed JobStatus = "failed"
+)
+
+// Job is one submitted run. Its result is deterministic: bit-identical to
+// Session.Run of the same spec, no matter how many jobs ran concurrently.
+type Job struct {
+	id     string
+	spec   JobSpec
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu     sync.Mutex
+	status JobStatus
+	res    Result
+	err    error
+}
+
+// ID returns the job's service-assigned identifier ("job-1", "job-2", ...).
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's spec.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Cancel asks the job to stop at its next round boundary. Cancelling a
+// finished job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's outcome once terminal: the result, the run
+// error (nil unless cancelled or failed), and whether the job has finished
+// at all.
+func (j *Job) Result() (Result, error, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	terminal := j.status == JobDone || j.status == JobCancelled || j.status == JobFailed
+	return j.res, j.err, terminal
+}
+
+// Wait blocks until the job is terminal (returning its result and run
+// error) or ctx is done (returning ctx.Err() without cancelling the job).
+func (j *Job) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-j.done:
+		res, err, _ := j.Result()
+		return res, err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Service multiplexes concurrent jobs over one shared Session: graphs and
+// pooled engines are shared, execution is bounded by the WithWorkers
+// budget, and every job is isolated (own engine, own node set, own
+// cancellation) so per-job output is deterministic. It is the in-process
+// backend of cmd/triserve.
+type Service struct {
+	session *Session
+	sem     chan struct{}
+	history int
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewService returns a Service. Unless overridden, verification oracles
+// run single-worker here (jobs are already concurrent; see
+// WithOracleWorkers) and the last 512 finished jobs are retained (see
+// WithJobHistory).
+func NewService(opts ...Option) *Service {
+	opts = append([]Option{WithOracleWorkers(1)}, opts...)
+	session := NewSession(opts...)
+	history := session.opts.jobHistory
+	if history == 0 {
+		history = 512
+	}
+	return &Service{
+		session: session,
+		sem:     make(chan struct{}, session.opts.workers),
+		history: history,
+		jobs:    make(map[string]*Job),
+	}
+}
+
+// Session returns the service's underlying session (for synchronous runs
+// that should share the service's caches).
+func (s *Service) Session() *Session { return s.session }
+
+// Submit validates and enqueues a job, returning immediately. The job runs
+// as soon as a worker slot frees up.
+func (s *Service) Submit(spec JobSpec) (*Job, error) {
+	return s.SubmitObserved(spec, nil)
+}
+
+// SubmitObserved is Submit with a streaming Observer. The observer's
+// callbacks run on the job's worker goroutine.
+func (s *Service) SubmitObserved(spec JobSpec, obs Observer) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{spec: spec, cancel: cancel, done: make(chan struct{}), status: JobQueued}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("congest: service is closed")
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.execute(ctx, j, obs)
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs (and their retained Results)
+// while the service holds more than its history budget. Callers hold s.mu.
+func (s *Service) evictLocked() {
+	if s.history < 0 {
+		return
+	}
+	keep := s.order[:0]
+	excess := len(s.order) - s.history
+	for i, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.status == JobDone || j.status == JobCancelled || j.status == JobFailed
+		j.mu.Unlock()
+		if excess > 0 && terminal {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		keep = append(keep, s.order[i])
+	}
+	s.order = keep
+}
+
+func (s *Service) execute(ctx context.Context, j *Job, obs Observer) {
+	defer s.wg.Done()
+	defer j.cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		j.finish(Result{}, ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.status = JobRunning
+	j.mu.Unlock()
+	res, err := s.session.RunObserved(ctx, j.spec, obs)
+	j.finish(res, err)
+}
+
+// finish records the terminal state.
+func (j *Job) finish(res Result, err error) {
+	j.mu.Lock()
+	j.res, j.err = res, err
+	switch {
+	case err == nil:
+		j.status = JobDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || res.Meta.Cancelled:
+		j.status = JobCancelled
+	default:
+		j.status = JobFailed
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Job returns a submitted job by id.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every submitted job in submission order.
+func (s *Service) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Close cancels every unfinished job, waits for them to stop, and rejects
+// further submissions.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	s.wg.Wait()
+}

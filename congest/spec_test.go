@@ -1,0 +1,103 @@
+package congest
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJobSpecGoldens round-trips every golden spec: the file must parse
+// strictly, validate, and re-marshal byte-identically — pinning both the
+// field names (the wire format) and the omit-empty minimality.
+func TestJobSpecGoldens(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "spec_*.json"))
+	if err != nil || len(goldens) == 0 {
+		t.Fatalf("no spec goldens found: %v", err)
+	}
+	for _, path := range goldens {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := ParseJobSpec(data)
+			if err != nil {
+				t.Fatalf("golden rejected: %v", err)
+			}
+			out, err := json.MarshalIndent(spec, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := string(out), strings.TrimRight(string(data), "\n"); got != want {
+				t.Errorf("round trip drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+			// And the parsed form survives a second trip through the wire.
+			spec2, err := ParseJobSpec(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out2, _ := json.MarshalIndent(spec2, "", "  ")
+			if !bytes.Equal(out, out2) {
+				t.Error("second round trip not a fixed point")
+			}
+		})
+	}
+}
+
+// TestParseJobSpecRejectsUnknownFields pins the strict-decoding contract:
+// a misspelled tunable must fail loudly, not silently become a default.
+func TestParseJobSpecRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"graph": {"generator": "gnp", "n": 8}, "algo": "list", "bandwith": 4}`,
+		`{"graph": {"generator": "gnp", "n": 8, "q": 0.5}, "algo": "list"}`,
+		`{"graph": {"generator": "gnp", "n": 8}, "algo": "churn", "churn": {"workload": "flip", "batch": 4}}`,
+		`{"graph": {"generator": "gnp", "n": 8}, "algo": "list"} trailing`,
+	}
+	for _, c := range cases {
+		if _, err := ParseJobSpec([]byte(c)); err == nil {
+			t.Errorf("accepted bad spec %s", c)
+		}
+	}
+}
+
+// TestJobSpecValidate covers the shape rules.
+func TestJobSpecValidate(t *testing.T) {
+	bad := []JobSpec{
+		{Graph: GraphSpec{Generator: "gnp", N: 8}, Algo: "nope"},
+		{Graph: GraphSpec{}, Algo: "list"},
+		{Graph: GraphSpec{Generator: "gnp", N: 8, File: "x"}, Algo: "list"},
+		{Graph: GraphSpec{Generator: "gnp"}, Algo: "list"},
+		{Graph: GraphSpec{Generator: "gnp", N: 8}, Algo: "list", Eps: 1.5},
+		{Graph: GraphSpec{Generator: "gnp", N: 8}, Algo: "list", Verify: "maybe"},
+		{Graph: GraphSpec{Generator: "gnp", N: 8}, Algo: "churn"},
+		{Graph: GraphSpec{Generator: "gnp", N: 8}, Algo: "list", Churn: &ChurnSpec{Workload: "flip"}},
+		{Graph: GraphSpec{Generator: "gnp", N: 8}, Algo: "churn", Churn: &ChurnSpec{Workload: "nope"}},
+		{Graph: GraphSpec{Generator: "gnp", N: 8}, Algo: "list", Bandwidth: -1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: bad spec validated", i)
+		}
+	}
+	good := JobSpec{Graph: GraphSpec{Generator: "gnp", N: 8, P: 0.5}, Algo: "list"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+// TestRunUnknownGeneratorAndMissingFile: a valid-shape spec can still fail
+// environmentally, with a useful error.
+func TestRunUnknownGeneratorAndMissingFile(t *testing.T) {
+	if _, err := LoadGraph(GraphSpec{Generator: "nope", N: 8}); err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Errorf("unknown generator error: %v", err)
+	}
+	if _, err := LoadGraph(GraphSpec{File: "/definitely/missing"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := LoadGraph(GraphSpec{N: 4, Edges: [][2]int{{0, 0}}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}

@@ -4,6 +4,9 @@
 //
 // The repository contains:
 //
+//   - congest: the public job-oriented API — declarative JSON JobSpecs,
+//     context cancellation at deterministic round boundaries, streaming
+//     observers, a caching Session and a concurrent-job Service;
 //   - internal/sim: a round-synchronous CONGEST / CONGEST-clique network
 //     simulator with per-edge O(log n)-bit bandwidth accounting;
 //   - internal/core: the paper's algorithms — A1 (Proposition 1), A2
@@ -17,7 +20,10 @@
 //   - internal/graph, internal/hashing: the graph and 3-wise-independent
 //     hashing substrates;
 //   - internal/expt: the experiment harness regenerating every Table-1 row;
-//   - cmd/trilist, cmd/experiments: command-line front ends;
+//   - cmd/trilist, cmd/experiments, cmd/graphgen: command-line front ends
+//     (thin clients of congest);
+//   - cmd/triserve: an HTTP JSON server multiplexing concurrent jobs over
+//     congest.Service;
 //   - examples/: runnable scenarios (quickstart, social-network motif
 //     counting, triangle-freeness certification, lower-bound measurement).
 //

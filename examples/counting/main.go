@@ -4,7 +4,7 @@
 // log n) rounds even in the CONGEST clique, while COUNTING there is
 // O(n^{0.1572}) (Censor-Hillel et al.) — so listing is strictly harder
 // than counting. This example shows the same separation in the standard
-// CONGEST model with our exact counter: a BFS convergecast over two-hop
+// CONGEST model with the exact counter: a BFS convergecast over two-hop
 // knowledge counts all triangles in Theta(d_max + D) rounds, orders of
 // magnitude below the Theorem-2 lister, because a count is a single number
 // and the information-theoretic argument of Theorem 3 has nothing to grip.
@@ -13,42 +13,40 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/agg"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/congest"
 )
 
 func main() {
+	ctx := context.Background()
+	// One session: the graph is built once and both jobs' engines pool.
+	s := congest.NewSession()
 	fmt.Printf("%6s %12s %14s %14s %10s\n", "n", "triangles", "countRounds", "listRounds", "ratio")
 	for i, n := range []int{32, 48, 64} {
-		rng := rand.New(rand.NewSource(int64(10 + i)))
-		g := graph.Gnp(n, 0.5, rng)
+		g := congest.GraphSpec{Generator: "gnp", N: n, P: 0.5, Seed: int64(10 + i)}
 
-		cres, err := agg.CountTriangles(g, 0, sim.Config{Seed: int64(i)})
+		cres, err := s.Run(ctx, congest.JobSpec{Graph: g, Algo: "count", Seed: int64(i)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		oracleCount := graph.CountTriangles(g)
-		if int(cres.Count) != oracleCount {
-			log.Fatalf("count %d disagrees with oracle %d", cres.Count, oracleCount)
+		if !cres.Verify.OK {
+			log.Fatalf("n=%d: %s", n, cres.Verify.Detail)
 		}
 
-		lres, err := core.ListAllTriangles(g, core.ListerOptions{}, sim.Config{Seed: int64(i + 50)})
+		lres, err := s.Run(ctx, congest.JobSpec{Graph: g, Algo: "list", Seed: int64(i + 50)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := core.VerifyListing(g, lres); err != nil {
-			log.Fatal(err)
+		if !lres.Verify.OK {
+			log.Fatalf("n=%d: %s", n, lres.Verify.Detail)
 		}
 
 		fmt.Printf("%6d %12d %14d %14d %9.0fx\n",
-			n, cres.Count, cres.Rounds, lres.ScheduledRounds,
-			float64(lres.ScheduledRounds)/float64(cres.Rounds))
+			n, cres.Count, cres.Meta.ExecutedRounds, lres.Meta.ScheduledRounds,
+			float64(lres.Meta.ScheduledRounds)/float64(cres.Meta.ExecutedRounds))
 	}
 	fmt.Println("\nthe count is exact at every size, yet costs a vanishing fraction of")
 	fmt.Println("listing: Theorem 3's information bound applies only when triangle")

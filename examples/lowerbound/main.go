@@ -1,27 +1,25 @@
 // Lowerbound: the Theorem-3 information argument, measured live.
 //
-// On G(n, 1/2) we run a complete listing algorithm, find the node w(T) with
-// the largest output, and measure the chain the proof reasons about:
+// On G(n, 1/2) we run a complete listing algorithm (Dolev et al. in the
+// CONGEST clique), find the node w(T) with the largest output, and measure
+// the chain the proof reasons about:
 //
 //	bits received by w  >=  I(E; T_w) - H(rho_w)  >=  |P(T_w)| - (n-1)
 //	           |P(T_w)| >=  sqrt(2)/3 |T_w|^{2/3}          (Rivin, Lemma 4)
 //
-// Every inequality is checked on the actual run, and the implied round
-// floor |P(T_w)|/(n log n) is compared with the measured rounds.
+// Every inequality is checked on the actual run — the job API attaches the
+// full analysis to the result when LowerBound is set — and the implied
+// round floor |P(T_w)|/(n log n) is compared with the measured rounds.
 //
 // Run with: go run ./examples/lowerbound
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/lower"
-	"repro/internal/sim"
+	"repro/congest"
 )
 
 func main() {
@@ -29,26 +27,25 @@ func main() {
 	fmt.Printf("%6s %8s %8s %10s %10s %10s %8s\n",
 		"n", "|T_w|", "|P(T_w)|", "rivinFloor", "infoFloor", "recvBits", "rounds")
 	for i, n := range []int{24, 32, 48, 64, 96} {
-		rng := rand.New(rand.NewSource(int64(100 + i)))
-		g := graph.Gnp(n, 0.5, rng)
-		sched, mk, err := baseline.NewDolev(g, 2, baseline.DolevCubeRoot)
+		res, err := congest.Run(context.Background(), congest.JobSpec{
+			Graph:      congest.GraphSpec{Generator: "gnp", N: n, P: 0.5, Seed: int64(100 + i)},
+			Algo:       "dolev",
+			Seed:       int64(i),
+			LowerBound: true,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.RunSingle(g, sched, mk, sim.Config{Mode: sim.ModeClique, Seed: int64(i)})
-		if err != nil {
-			log.Fatal(err)
+		if !res.Verify.OK {
+			log.Fatalf("n=%d: listing incomplete: %s", n, res.Verify.Detail)
 		}
-		if err := core.VerifyListing(g, res); err != nil {
-			log.Fatal(err)
-		}
-		rep := lower.Analyze(g, res.Outputs, res.Metrics)
-		if err := rep.Check(); err != nil {
-			log.Fatalf("n=%d: the information chain FAILED — impossible for a correct run: %v", n, err)
+		lb := res.LowerBound
+		if !lb.OK {
+			log.Fatalf("n=%d: the information chain FAILED — impossible for a correct run: %s", n, lb.Detail)
 		}
 		fmt.Printf("%6d %8d %8d %10.1f %10d %10d %8d\n",
-			n, rep.TW, rep.PTW, rep.RivinFloor, rep.InfoFloorBits,
-			rep.BitsReceivedW, res.ScheduledRounds)
+			n, lb.TW, lb.PTW, lb.RivinFloor, lb.InfoFloorBits,
+			lb.BitsReceivedW, res.Meta.ScheduledRounds)
 	}
 	fmt.Println("\nevery row satisfied |P(T_w)| >= Rivin floor and recvBits >= info floor;")
 	fmt.Println("the paper turns exactly this chain into the Omega(n^{1/3}/log n) round bound.")

@@ -6,30 +6,45 @@
 // Algorithm A2's hashed heavy-edge listing earns its keep, while the sparse
 // periphery is covered by Algorithm A3. The example also reports the
 // per-node triangle counts (local clustering numerators) that social-network
-// analysis actually consumes.
+// analysis actually consumes — computed from the job's triangle output.
 //
 // Run with: go run ./examples/socialnet
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"sort"
 
-	"repro/internal/core"
+	"repro/congest"
 	"repro/internal/graph"
-	"repro/internal/sim"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(99))
-	g := graph.BarabasiAlbert(128, 5, rng)
-	st := graph.Degrees(g)
-	fmt.Printf("social network: n=%d m=%d degrees min/mean/max = %d/%.1f/%d\n",
-		g.N(), g.M(), st.Min, st.Mean, st.Max)
+	spec := congest.JobSpec{
+		Graph: congest.GraphSpec{Generator: "ba", N: 128, K: 5, Seed: 99},
+		Algo:  "list",
+		Seed:  5,
+	}
 
-	// How skewed is the triangle load? Show the heaviest edges.
+	// Distributed motif listing through the public API.
+	res, err := congest.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Verify.OK {
+		log.Fatalf("listing incomplete: %s", res.Verify.Detail)
+	}
+	fmt.Printf("social network: n=%d m=%d degrees mean/max = %.1f/%d\n",
+		res.Graph.N, res.Graph.M, res.Graph.MeanDegree, res.Graph.MaxDegree)
+
+	// How skewed is the triangle load? LoadGraph materializes the same
+	// deterministic graph the job ran on for the structural census.
+	g, err := congest.LoadGraph(spec.Graph)
+	if err != nil {
+		log.Fatal(err)
+	}
 	counts := graph.EdgeTriangleCounts(g)
 	type ec struct {
 		e graph.Edge
@@ -50,26 +65,18 @@ func main() {
 		fmt.Printf("  %v: %d triangles\n", heavy[i].e, heavy[i].c)
 	}
 
-	// Distributed motif listing.
-	res, err := core.ListAllTriangles(g, core.ListerOptions{}, sim.Config{Seed: 5})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := core.VerifyListing(g, res); err != nil {
-		log.Fatalf("listing incomplete: %v", err)
-	}
 	fmt.Printf("\ndistributed listing: %d triangles in %d CONGEST rounds (%d bits)\n",
-		len(res.Union), res.ScheduledRounds, res.Metrics.TotalBits())
+		res.TriangleCount, res.Meta.ScheduledRounds, res.Metrics.TotalBits)
 
 	// Per-vertex triangle membership — the numerator of the local
 	// clustering coefficient. Note the counter-intuitive mechanism the
 	// paper highlights: a triangle may be OUTPUT by a node not in it, so we
-	// recount membership from the union.
-	perVertex := make([]int, g.N())
-	for t := range res.Union {
-		perVertex[t.A]++
-		perVertex[t.B]++
-		perVertex[t.C]++
+	// recount membership from the deduplicated union.
+	perVertex := make([]int, res.Graph.N)
+	for _, t := range res.Triangles {
+		perVertex[t[0]]++
+		perVertex[t[1]]++
+		perVertex[t[2]]++
 	}
 	type vc struct{ v, c int }
 	var tops []vc

@@ -7,19 +7,19 @@
 // The one-sided error of the Theorem-1 finder makes it a sound certifier:
 // it can only ever report REAL triangles, so "triangle found" is always
 // trustworthy, while repetition drives the false-"triangle-free" rate below
-// any constant.
+// any constant. The fabrics are handed to the job API as inline edge lists
+// — the GraphSpec path an operator's tooling would use for real topologies.
 //
 // Run with: go run ./examples/trianglefree
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/sim"
+	"repro/congest"
 )
 
 func main() {
@@ -28,57 +28,83 @@ func main() {
 	// A bipartite communication fabric (triangle-free by construction) and
 	// the same fabric with a few "shortcut" links added by an operator —
 	// which silently create triangles.
-	clean := graph.RandomBipartite(48, 48, 0.3, rng)
-	dirty := addShortcuts(clean, 4, rng)
+	clean := bipartiteEdges(48, 48, 0.3, rng)
+	dirty := addShortcuts(96, clean, 4, rng)
 
 	for _, tc := range []struct {
-		name string
-		g    *graph.Graph
+		name  string
+		edges [][2]int
 	}{{"clean bipartite fabric", clean}, {"fabric with shortcuts", dirty}} {
-		found, res, err := core.FindTriangles(tc.g, core.FinderOptions{Repetitions: 6}, sim.Config{Seed: 11})
+		res, err := congest.Run(context.Background(), congest.JobSpec{
+			Graph:       congest.GraphSpec{N: 96, Edges: tc.edges},
+			Algo:        "find",
+			Seed:        11,
+			Repetitions: 6,
+			Verify:      congest.VerifyOneSided,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := core.VerifyOneSided(tc.g, res); err != nil {
-			log.Fatalf("one-sided violation (impossible for a correct run): %v", err)
+		if !res.Verify.OK {
+			log.Fatalf("one-sided violation (impossible for a correct run): %s", res.Verify.Detail)
 		}
-		fmt.Printf("%-26s n=%d m=%d: ", tc.name, tc.g.N(), tc.g.M())
-		if found {
-			witness := res.Union.Slice()[0]
-			fmt.Printf("NOT triangle-free — witness %v found in %d rounds\n",
-				witness, res.ScheduledRounds)
+		fmt.Printf("%-26s n=%d m=%d: ", tc.name, res.Graph.N, res.Graph.M)
+		if res.Found {
+			w := res.Triangles[0]
+			fmt.Printf("NOT triangle-free — witness {%d,%d,%d} found in %d rounds\n",
+				w[0], w[1], w[2], res.Meta.ScheduledRounds)
 			fmt.Println("  -> fall back to the general algorithm; the witness is guaranteed real")
 		} else {
-			fmt.Printf("no triangle found in %d rounds\n", res.ScheduledRounds)
+			fmt.Printf("no triangle found in %d rounds\n", res.Meta.ScheduledRounds)
 			fmt.Println("  -> safe to run the triangle-free-only algorithm (error prob < (1-c)^6)")
 		}
 	}
 }
 
-// addShortcuts copies g and adds k random same-side-to-neighbor chords that
-// close triangles.
-func addShortcuts(g *graph.Graph, k int, rng *rand.Rand) *graph.Graph {
-	b := graph.NewBuilder(g.N())
-	for _, e := range g.Edges() {
-		if err := b.AddEdge(e.U, e.V); err != nil {
-			log.Fatal(err)
+// bipartiteEdges samples a random bipartite edge list: [0, nl) left,
+// [nl, nl+nr) right.
+func bipartiteEdges(nl, nr int, p float64, rng *rand.Rand) [][2]int {
+	var edges [][2]int
+	for u := 0; u < nl; u++ {
+		for v := nl; v < nl+nr; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{u, v})
+			}
 		}
 	}
-	added := 0
-	for added < k {
-		v := rng.Intn(g.N())
-		nbrs := g.Neighbors(v)
+	return edges
+}
+
+// addShortcuts copies the edge list and adds k random chords between
+// neighbors of a common vertex — each closing a triangle.
+func addShortcuts(n int, edges [][2]int, k int, rng *rand.Rand) [][2]int {
+	adj := make(map[int][]int)
+	has := make(map[[2]int]bool)
+	canon := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+		has[canon(e[0], e[1])] = true
+	}
+	out := append([][2]int(nil), edges...)
+	for added := 0; added < k; {
+		v := rng.Intn(n)
+		nbrs := adj[v]
 		if len(nbrs) < 2 {
 			continue
 		}
-		a, c := int(nbrs[rng.Intn(len(nbrs))]), int(nbrs[rng.Intn(len(nbrs))])
-		if a == c || b.HasEdge(a, c) {
+		a, c := nbrs[rng.Intn(len(nbrs))], nbrs[rng.Intn(len(nbrs))]
+		if a == c || has[canon(a, c)] {
 			continue
 		}
-		if err := b.AddEdge(a, c); err != nil {
-			log.Fatal(err)
-		}
+		has[canon(a, c)] = true
+		out = append(out, [2]int{a, c})
 		added++
 	}
-	return b.Build()
+	return out
 }

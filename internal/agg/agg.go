@@ -17,6 +17,7 @@
 package agg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -282,6 +283,13 @@ func decodeSum(ws []sim.Word, n int) int64 {
 // CountTriangles runs the distributed counter on g and returns the exact
 // triangle count of the root's connected component.
 func CountTriangles(g *graph.Graph, root int, cfg sim.Config) (CountResult, error) {
+	return CountTrianglesContext(context.Background(), g, root, cfg)
+}
+
+// CountTrianglesContext is CountTriangles with cancellation at round
+// boundaries (a cancelled count returns ctx.Err(); partial counts are
+// meaningless and not reported).
+func CountTrianglesContext(ctx context.Context, g *graph.Graph, root int, cfg sim.Config) (CountResult, error) {
 	if root < 0 || root >= g.N() {
 		return CountResult{}, fmt.Errorf("agg: root %d out of range", root)
 	}
@@ -298,7 +306,7 @@ func CountTriangles(g *graph.Graph, root int, cfg sim.Config) (CountResult, erro
 	if err != nil {
 		return CountResult{}, err
 	}
-	if err := eng.RunUntilQuiescent(); err != nil {
+	if err := eng.RunUntilQuiescentContext(ctx); err != nil {
 		return CountResult{}, err
 	}
 	total, ok := collect()

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// SegmentInfo announces one segment of a run's schedule to an Observer.
+type SegmentInfo struct {
+	// Index is the segment's position in the sequence (0-based).
+	Index int
+	// Name is the segment name (e.g. "a2#3"); "run" for single-schedule runs.
+	Name string
+	// StartRound is the engine round at which the segment begins.
+	StartRound int
+	// Rounds is the segment's scheduled duration.
+	Rounds int
+}
+
+// Observer receives a run's results as they are produced instead of (or in
+// addition to) the materialized Result. All callbacks fire on the engine's
+// sequential spine in a deterministic order independent of engine
+// parallelism: OnSegment before the segment's first round, OnRound after
+// every executed round, OnTriangle in ascending node order within a round,
+// once per recorded output (duplicates included — deduplication is the
+// Result union's job). Callbacks must not block; the run is synchronous
+// with them.
+//
+// The materialized Result is itself assembled from this stream (see
+// runNodesContext), so an observer sees exactly what the Result will hold.
+type Observer interface {
+	OnSegment(info SegmentInfo)
+	OnRound(round int, d sim.RoundDelta)
+	OnTriangle(node int, t graph.Triangle)
+}
+
+// collector rebuilds the materialized Result fields from the streaming
+// callbacks: per-node outputs in emission order plus the deduplicated
+// union. It is the bridge between the observer contract and the legacy
+// Result shape.
+type collector struct {
+	outputs [][]graph.Triangle
+	union   graph.TriangleSet
+}
+
+func newCollector(n int) *collector {
+	return &collector{
+		outputs: make([][]graph.Triangle, n),
+		union:   make(graph.TriangleSet),
+	}
+}
+
+func (c *collector) add(node int, t graph.Triangle) {
+	c.outputs[node] = append(c.outputs[node], t)
+	c.union.Add(t)
+}
+
+// hooksFor wires a collector plus an optional user observer into engine
+// hooks. The round hook is installed only when someone listens.
+func hooksFor(col *collector, obs Observer) sim.Hooks {
+	h := sim.Hooks{
+		Triangle: func(node int, t graph.Triangle) {
+			col.add(node, t)
+			if obs != nil {
+				obs.OnTriangle(node, t)
+			}
+		},
+	}
+	if obs != nil {
+		h.Round = obs.OnRound
+	}
+	return h
+}

@@ -1,11 +1,38 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
+
+// RunMeta is the provenance of one run: everything needed to reproduce it
+// or to interpret its outcome without the call site in hand. Verification
+// failures and server responses carry it so they are self-describing.
+type RunMeta struct {
+	// Seed is the engine seed the run used.
+	Seed int64
+	// BandwidthWords is the resolved B (after defaulting).
+	BandwidthWords int
+	// Mode is the communication topology the run executed under.
+	Mode sim.Mode
+	// Parallel records whether the parallel engine ran (results are
+	// bit-identical either way; recorded for completeness).
+	Parallel bool
+	// ScheduledRounds is the algorithm's scheduled (worst-case) duration —
+	// the quantity the paper's round-complexity bounds describe.
+	ScheduledRounds int
+	// ExecutedRounds is the rounds actually run; less than ScheduledRounds
+	// exactly when the run was cancelled.
+	ExecutedRounds int
+	// Cancelled reports that the run stopped at a context cancellation; the
+	// Result then holds the deterministic prefix of the uncancelled run.
+	Cancelled bool
+	// Segments is the per-segment round budget the run followed.
+	Segments []SegmentPlan
+}
 
 // Result bundles the outcome of one algorithm run.
 type Result struct {
@@ -15,23 +42,46 @@ type Result struct {
 	Union graph.TriangleSet
 	// Metrics is the engine's communication accounting.
 	Metrics sim.Metrics
-	// ScheduledRounds is the algorithm's scheduled (worst-case) duration —
-	// the quantity the paper's round-complexity bounds describe.
+	// ScheduledRounds is the algorithm's scheduled (worst-case) duration.
+	// Equal to Meta.ScheduledRounds; kept as a top-level field for the many
+	// sweep call sites that read it.
 	ScheduledRounds int
+	// Meta is the run's provenance.
+	Meta RunMeta
 }
 
 // RunSingle executes a single-schedule algorithm on g.
 func RunSingle(g *graph.Graph, sched *sim.Schedule, mk func(id int) sim.Node, cfg sim.Config) (Result, error) {
+	return RunSingleContext(context.Background(), g, sched, mk, cfg, nil)
+}
+
+// RunSingleContext is RunSingle with cancellation and streaming
+// observation. Cancellation is honored at round boundaries only: the
+// returned Result is then the deterministic prefix of the uncancelled run
+// (same seed, same everything) up to ExecutedRounds, and the error is
+// ctx.Err().
+func RunSingleContext(ctx context.Context, g *graph.Graph, sched *sim.Schedule, mk func(id int) sim.Node, cfg sim.Config, obs Observer) (Result, error) {
 	nodes := make([]sim.Node, g.N())
 	for v := range nodes {
 		nodes[v] = mk(v)
 	}
-	return runNodes(g, nodes, TotalRounds(sched), cfg)
+	return runNodes(ctx, g, nodes, singlePlan(sched), cfg, obs)
+}
+
+// singlePlan wraps one schedule as a one-segment plan.
+func singlePlan(sched *sim.Schedule) []SegmentPlan {
+	return []SegmentPlan{{Name: "run", Rounds: TotalRounds(sched)}}
 }
 
 // RunSequence executes a sequence of segments (e.g. the Theorem-1 finder's
 // repeated A1;A3) on g.
 func RunSequence(g *graph.Graph, segs []Segment, cfg sim.Config) (Result, error) {
+	return RunSequenceContext(context.Background(), g, segs, cfg, nil)
+}
+
+// RunSequenceContext is RunSequence with cancellation and streaming
+// observation (see RunSingleContext for the cancellation contract).
+func RunSequenceContext(ctx context.Context, g *graph.Graph, segs []Segment, cfg sim.Config, obs Observer) (Result, error) {
 	if len(segs) == 0 {
 		return Result{}, fmt.Errorf("core: empty segment sequence")
 	}
@@ -39,47 +89,100 @@ func RunSequence(g *graph.Graph, segs []Segment, cfg sim.Config) (Result, error)
 	for v := range nodes {
 		nodes[v] = NewSequenceNode(segs, v)
 	}
-	return runNodes(g, nodes, SequenceRounds(segs), cfg)
+	return runNodes(ctx, g, nodes, Plan(segs), cfg, obs)
 }
 
-func runNodes(g *graph.Graph, nodes []sim.Node, rounds int, cfg sim.Config) (Result, error) {
+func runNodes(ctx context.Context, g *graph.Graph, nodes []sim.Node, plan []SegmentPlan, cfg sim.Config, obs Observer) (Result, error) {
 	eng, err := sim.NewEngine(g, nodes, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	eng.Run(rounds)
-	if pend := eng.PendingWords(); pend != 0 {
-		return Result{}, fmt.Errorf("core: %d words still queued after scheduled %d rounds (phase budget bug)", pend, rounds)
+	return runPlanned(ctx, eng, plan, obs)
+}
+
+// runPlanned drives an initialized engine through the plan, streaming to
+// obs and assembling the Result from the same observation stream (the
+// collector). On cancellation it returns the partial Result together with
+// ctx.Err(); the partial Result is bit-identical to the same run truncated
+// at the same round.
+func runPlanned(ctx context.Context, eng *sim.Engine, plan []SegmentPlan, obs Observer) (Result, error) {
+	col := newCollector(eng.Input().N())
+	eng.SetHooks(hooksFor(col, obs))
+	cfg := eng.Config()
+	scheduled := 0
+	for _, sp := range plan {
+		scheduled += sp.Rounds
 	}
-	return Result{
-		Outputs:         eng.Outputs(),
-		Union:           eng.OutputUnion(),
+	var runErr error
+	start := 0
+	for i, sp := range plan {
+		if obs != nil {
+			obs.OnSegment(SegmentInfo{Index: i, Name: sp.Name, StartRound: start, Rounds: sp.Rounds})
+		}
+		if err := eng.RunContext(ctx, sp.Rounds); err != nil {
+			runErr = err
+			break
+		}
+		start += sp.Rounds
+	}
+	res := Result{
+		Outputs:         col.outputs,
+		Union:           col.union,
 		Metrics:         eng.Metrics(),
-		ScheduledRounds: rounds,
-	}, nil
+		ScheduledRounds: scheduled,
+		Meta: RunMeta{
+			Seed:            cfg.Seed,
+			BandwidthWords:  cfg.BandwidthWords,
+			Mode:            cfg.Mode,
+			Parallel:        cfg.Parallel,
+			ScheduledRounds: scheduled,
+			ExecutedRounds:  eng.Round(),
+			Cancelled:       runErr != nil,
+			Segments:        plan,
+		},
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	if pend := eng.PendingWords(); pend != 0 {
+		return Result{}, fmt.Errorf("core: %d words still queued after scheduled %d rounds (phase budget bug)", pend, scheduled)
+	}
+	return res, nil
 }
 
 // FindTriangles runs the Theorem-1 finder on g and reports whether a
 // triangle was found (plus the full result).
 func FindTriangles(g *graph.Graph, opt FinderOptions, cfg sim.Config) (bool, Result, error) {
+	return FindTrianglesContext(context.Background(), g, opt, cfg, nil)
+}
+
+// FindTrianglesContext is FindTriangles with cancellation and streaming
+// observation.
+func FindTrianglesContext(ctx context.Context, g *graph.Graph, opt FinderOptions, cfg sim.Config, obs Observer) (bool, Result, error) {
 	segs, err := NewFinder(g.N(), bandwidthOf(cfg), opt)
 	if err != nil {
 		return false, Result{}, err
 	}
-	res, err := RunSequence(g, segs, cfg)
+	res, err := RunSequenceContext(ctx, g, segs, cfg, obs)
 	if err != nil {
-		return false, Result{}, err
+		return false, res, err
 	}
 	return len(res.Union) > 0, res, nil
 }
 
 // ListAllTriangles runs the Theorem-2 lister on g.
 func ListAllTriangles(g *graph.Graph, opt ListerOptions, cfg sim.Config) (Result, error) {
+	return ListAllTrianglesContext(context.Background(), g, opt, cfg, nil)
+}
+
+// ListAllTrianglesContext is ListAllTriangles with cancellation and
+// streaming observation.
+func ListAllTrianglesContext(ctx context.Context, g *graph.Graph, opt ListerOptions, cfg sim.Config, obs Observer) (Result, error) {
 	segs, err := NewLister(g.N(), bandwidthOf(cfg), opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunSequence(g, segs, cfg)
+	return RunSequenceContext(ctx, g, segs, cfg, obs)
 }
 
 func bandwidthOf(cfg sim.Config) int {

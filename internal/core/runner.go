@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -11,8 +12,9 @@ import (
 // Runner executes many (algorithm, seed) runs over one graph while reusing
 // the expensive state between them: engines come from a sim.EnginePool
 // (Engine.Reset instead of reallocation) and node slices from an internal
-// pool. It is safe for concurrent use, so sweep workers can share one Runner
-// per graph; each concurrent borrower costs one engine allocation total.
+// pool. It is safe for concurrent use, so sweep workers and service jobs
+// can share one Runner per graph; each concurrent borrower costs one engine
+// allocation total.
 //
 // Results are identical to the one-shot RunSingle/RunSequence functions for
 // the same seed: a run is fully determined by (graph, config, nodes, seed),
@@ -36,16 +38,28 @@ func (r *Runner) Graph() *graph.Graph { return r.g }
 // RunSingle executes a single-schedule algorithm, like the package-level
 // RunSingle but with pooled engine and node state.
 func (r *Runner) RunSingle(sched *sim.Schedule, mk func(id int) sim.Node, seed int64) (Result, error) {
+	return r.RunSingleContext(context.Background(), sched, mk, seed, nil)
+}
+
+// RunSingleContext is RunSingle with cancellation and streaming observation
+// (see the package-level RunSingleContext for the cancellation contract).
+func (r *Runner) RunSingleContext(ctx context.Context, sched *sim.Schedule, mk func(id int) sim.Node, seed int64, obs Observer) (Result, error) {
 	nodes := r.nodes()
 	for v := range nodes {
 		nodes[v] = mk(v)
 	}
-	return r.run(nodes, TotalRounds(sched), seed)
+	return r.run(ctx, nodes, singlePlan(sched), seed, obs)
 }
 
 // RunSequence executes a segment sequence (e.g. the Theorem-1 finder's
 // repeated A1;A3), like the package-level RunSequence but pooled.
 func (r *Runner) RunSequence(segs []Segment, seed int64) (Result, error) {
+	return r.RunSequenceContext(context.Background(), segs, seed, nil)
+}
+
+// RunSequenceContext is RunSequence with cancellation and streaming
+// observation.
+func (r *Runner) RunSequenceContext(ctx context.Context, segs []Segment, seed int64, obs Observer) (Result, error) {
 	if len(segs) == 0 {
 		return Result{}, fmt.Errorf("core: empty segment sequence")
 	}
@@ -53,7 +67,7 @@ func (r *Runner) RunSequence(segs []Segment, seed int64) (Result, error) {
 	for v := range nodes {
 		nodes[v] = NewSequenceNode(segs, v)
 	}
-	return r.run(nodes, SequenceRounds(segs), seed)
+	return r.run(ctx, nodes, Plan(segs), seed, obs)
 }
 
 func (r *Runner) nodes() []sim.Node {
@@ -63,24 +77,16 @@ func (r *Runner) nodes() []sim.Node {
 	return make([]sim.Node, r.g.N())
 }
 
-func (r *Runner) run(nodes []sim.Node, rounds int, seed int64) (Result, error) {
+func (r *Runner) run(ctx context.Context, nodes []sim.Node, plan []SegmentPlan, seed int64, obs Observer) (Result, error) {
 	eng, err := r.pool.Get(nodes, seed)
 	if err != nil {
 		return Result{}, err
 	}
-	eng.Run(rounds)
-	res := Result{
-		Outputs:         eng.Outputs(),
-		Union:           eng.OutputUnion(),
-		Metrics:         eng.Metrics(),
-		ScheduledRounds: rounds,
-	}
-	pend := eng.PendingWords()
+	res, err := runPlanned(ctx, eng, plan, obs)
+	// A cancelled engine still has queued words; Engine.Reset drains them on
+	// the next Get, so pooling it back is safe either way.
 	r.pool.Put(eng)
 	clear(nodes) // drop node references before pooling the slice
 	r.nodeBufs.Put(&nodes)
-	if pend != 0 {
-		return Result{}, fmt.Errorf("core: %d words still queued after scheduled %d rounds (phase budget bug)", pend, rounds)
-	}
-	return res, nil
+	return res, err
 }

@@ -1,7 +1,9 @@
 package dynamic
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/graph"
 )
@@ -21,6 +23,36 @@ type Workload interface {
 // sampleAttempts bounds rejection sampling per requested edge so dense or
 // near-complete graphs degrade to smaller batches instead of spinning.
 const sampleAttempts = 64
+
+// workloadNames lists the names NewWorkloadByName accepts, in registry
+// order.
+var workloadNames = []string{"window", "flip", "growth"}
+
+// WorkloadNames returns the workload names NewWorkloadByName accepts.
+func WorkloadNames() []string {
+	return append([]string(nil), workloadNames...)
+}
+
+// NewWorkloadByName builds one of the named churn workloads over d, for
+// job-spec and CLI use: "window" (sliding window; window 0 means d.M()),
+// "flip" (random edge flips) or "growth" (preferential growth). An unknown
+// name is reported together with every registered name.
+func NewWorkloadByName(name string, d *DynamicGraph, batchSize, window int) (Workload, error) {
+	switch name {
+	case "window":
+		if window <= 0 {
+			window = d.M()
+		}
+		return NewSlidingWindow(d, batchSize, window), nil
+	case "flip":
+		return NewRandomFlip(batchSize), nil
+	case "growth":
+		return NewGrowth(d, batchSize), nil
+	default:
+		return nil, fmt.Errorf("dynamic: unknown workload %q (registered: %s)",
+			name, strings.Join(workloadNames, ", "))
+	}
+}
 
 // SlidingWindow models a timestamped edge stream with expiry: every batch
 // inserts BatchSize fresh random edges and expires the oldest edges beyond

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -15,6 +16,9 @@ import (
 
 // Config controls a sweep run.
 type Config struct {
+	// Ctx, when non-nil, cancels the sweep: no new cell starts after Ctx is
+	// done, and the sweep returns Ctx.Err(). In-flight cells finish.
+	Ctx context.Context
 	// Sizes are the network sizes swept. Nil selects defaults (Quick aware).
 	Sizes []int
 	// Seed drives all randomness.

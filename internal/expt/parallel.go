@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,10 @@ func runCells[T any](cfg Config, count int, fn func(i int) (T, bool, error)) ([]
 	if count <= 0 {
 		return nil, nil
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	outs := make([]cellResult[T], count)
 	workers := cfg.workerCount()
 	if workers > count {
@@ -43,6 +48,9 @@ func runCells[T any](cfg Config, count int, fn func(i int) (T, bool, error)) ([]
 	}
 	if workers <= 1 {
 		for i := 0; i < count; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, ok, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -58,13 +66,13 @@ func runCells[T any](cfg Config, count int, fn func(i int) (T, bool, error)) ([]
 			go func() {
 				defer wg.Done()
 				for {
-					// Stop starting cells once one has failed; in-flight
-					// cells finish. The cursor hands out indexes in
-					// ascending order, so every unstarted (skipped) cell is
-					// higher-indexed than every recorded one, and the
-					// lowest-indexed recorded error below is exactly the
-					// error a sequential sweep would return.
-					if failed.Load() {
+					// Stop starting cells once one has failed or the sweep
+					// is cancelled; in-flight cells finish. The cursor hands
+					// out indexes in ascending order, so every unstarted
+					// (skipped) cell is higher-indexed than every recorded
+					// one, and the lowest-indexed recorded error below is
+					// exactly the error a sequential sweep would return.
+					if failed.Load() || ctx.Err() != nil {
 						return
 					}
 					i := int(next.Add(1)) - 1
@@ -85,6 +93,9 @@ func runCells[T any](cfg Config, count int, fn func(i int) (T, bool, error)) ([]
 				return nil, outs[i].err
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	kept := make([]T, 0, count)
 	for i := range outs {

@@ -112,13 +112,17 @@ func BarabasiAlbert(n, k int, rng *rand.Rand) *Graph {
 	}
 	for v := k + 1; v < n; v++ {
 		chosen := make(map[int]struct{}, k)
-		for len(chosen) < k {
-			t := targets[rng.Intn(len(targets))]
+		order := make([]int, 0, k) // insertion order: map iteration would be
+		for len(chosen) < k {      // nondeterministic and feeds back into the
+			t := targets[rng.Intn(len(targets))] // attachment weights
 			if t != v {
-				chosen[t] = struct{}{}
+				if _, dup := chosen[t]; !dup {
+					chosen[t] = struct{}{}
+					order = append(order, t)
+				}
 			}
 		}
-		for t := range chosen {
+		for _, t := range order {
 			mustAdd(b, v, t)
 			targets = append(targets, v, t)
 		}

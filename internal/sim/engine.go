@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -59,6 +60,32 @@ func (c Config) withDefaults() Config {
 // ErrMaxRounds is returned when a run exceeds Config.MaxRounds without
 // quiescing.
 var ErrMaxRounds = errors.New("sim: exceeded MaxRounds without quiescing")
+
+// RoundDelta is the communication that moved during one round — the
+// per-round increment of the cumulative Metrics counters.
+type RoundDelta struct {
+	// Messages is the channel-round deliveries made this round.
+	Messages int64
+	// Words is the words moved this round.
+	Words int64
+	// Moved reports whether any word moved (the ActiveRounds criterion).
+	Moved bool
+}
+
+// Hooks are the engine's streaming observation points. Both callbacks fire
+// on the engine's sequential spine (never from a delivery or node worker),
+// in a deterministic order that does not depend on Config.Parallel:
+// Triangle fires during the merge phase in ascending node order, once per
+// newly recorded output; Round fires after each round completes.
+//
+// Hooks survive until the next Reset/Rebind, which clears them.
+type Hooks struct {
+	Round    func(round int, d RoundDelta)
+	Triangle func(node int, t graph.Triangle)
+}
+
+// SetHooks installs streaming observation callbacks for the current run.
+func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
 // wordQueue is a FIFO of words with an amortized O(1) pop-front.
 //
@@ -144,6 +171,7 @@ type Engine struct {
 	scheduled []int32 // pooled across rounds
 	shards    []deliveryShard
 	metrics   Metrics
+	hooks     Hooks
 	round     int
 	started   bool
 }
@@ -248,7 +276,22 @@ func (e *Engine) initNodes() {
 	for v, nd := range e.nodes {
 		nd.Init(e.ctxs[v])
 		e.flushPending(v)
+		e.emitOutputs(v)
 	}
+}
+
+// emitOutputs streams node v's not-yet-reported outputs through the
+// Triangle hook. Called only on the sequential spine (init loop and merge
+// phase), in ascending node order, so the emission order is deterministic.
+func (e *Engine) emitOutputs(v int) {
+	if e.hooks.Triangle == nil {
+		return
+	}
+	ctx := e.ctxs[v]
+	for _, t := range ctx.outputs[ctx.seenOut:] {
+		e.hooks.Triangle(v, t)
+	}
+	ctx.seenOut = len(ctx.outputs)
 }
 
 // flushPending moves ctx.pending into channel queues, updating the active
@@ -318,6 +361,7 @@ func (e *Engine) deliverTo(v int32, shard *deliveryShard) {
 func (e *Engine) step() {
 	n := len(e.nodes)
 	b := e.cfg.BandwidthWords
+	msgs0, words0 := e.metrics.MessagesDelivered, e.metrics.WordsDelivered
 	// Phase 1: deliveries.
 	moved := false
 	// Broadcast-mode: each active node emits one B-word message heard by
@@ -414,10 +458,18 @@ func (e *Engine) step() {
 	// Phase 3: merge (deterministic node order — scheduled is ascending).
 	for _, v := range scheduled {
 		e.flushPending(int(v))
+		e.emitOutputs(int(v))
 		e.inboxes[v] = e.inboxes[v][:0]
 	}
 	e.round++
 	e.metrics.Rounds = e.round
+	if e.hooks.Round != nil {
+		e.hooks.Round(e.round-1, RoundDelta{
+			Messages: e.metrics.MessagesDelivered - msgs0,
+			Words:    e.metrics.WordsDelivered - words0,
+			Moved:    moved,
+		})
+	}
 }
 
 // parallelFor runs fn over items on up to GOMAXPROCS workers in contiguous
@@ -464,6 +516,10 @@ func (e *Engine) Reset(nodes []Node, seed int64) error {
 
 // Input returns the input graph the engine currently simulates.
 func (e *Engine) Input() *graph.Graph { return e.input }
+
+// Config returns the engine's resolved configuration (defaults applied;
+// Seed reflects the current run after Reset/Rebind).
+func (e *Engine) Config() Config { return e.cfg }
 
 // Rebind re-points the engine at a NEW input graph over the same vertex
 // set — the dynamic-graph epoch-snapshot path — and rewinds it for a fresh
@@ -545,12 +601,14 @@ func (e *Engine) clearRun(nodes []Node, seed int64) {
 		ctx.pending = ctx.pending[:0]
 		ctx.sendBuf = ctx.sendBuf[:0]
 		ctx.outputs = ctx.outputs[:0]
+		ctx.seenOut = 0
 		ctx.wake = 0
 		ctx.offset = 0
 		ctx.done = false
 		ctx.wordsSent = 0
 		e.inboxes[v] = e.inboxes[v][:0]
 	}
+	e.hooks = Hooks{}
 	e.metrics.Rounds = 0
 	e.metrics.ActiveRounds = 0
 	e.metrics.MessagesDelivered = 0
@@ -569,16 +627,53 @@ func (e *Engine) Run(rounds int) {
 	}
 }
 
+// RunContext is Run with cancellation: the context is polled at every round
+// boundary — the only interruption points — so a cancelled run always stops
+// on a complete round and its state (outputs, metrics, Round()) is exactly
+// the corresponding prefix of the uncancelled run for the same seed.
+// Returns ctx.Err() when cancelled, nil after all rounds.
+func (e *Engine) RunContext(ctx context.Context, rounds int) error {
+	done := ctx.Done()
+	if done == nil {
+		e.Run(rounds)
+		return nil
+	}
+	e.initNodes()
+	for i := 0; i < rounds; i++ {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		e.step()
+	}
+	return nil
+}
+
 // RunUntilQuiescent executes rounds until every node is done and all
 // channels are empty, or until Config.MaxRounds (returning ErrMaxRounds).
 func (e *Engine) RunUntilQuiescent() error {
+	return e.RunUntilQuiescentContext(context.Background())
+}
+
+// RunUntilQuiescentContext is RunUntilQuiescent with cancellation at round
+// boundaries (same contract as RunContext).
+func (e *Engine) RunUntilQuiescentContext(ctx context.Context) error {
 	e.initNodes()
+	done := ctx.Done()
 	for {
 		if e.quiescent() {
 			return nil
 		}
 		if e.round >= e.cfg.MaxRounds {
 			return ErrMaxRounds
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 		}
 		e.step()
 	}

@@ -62,6 +62,7 @@ type Context struct {
 	pending   []pendingSend
 	sendBuf   []Word // arena backing pending sends; reset every flush
 	outputs   []graph.Triangle
+	seenOut   int // outputs already streamed through Hooks.Triangle
 	wake      int
 	offset    int
 	done      bool
