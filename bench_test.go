@@ -15,10 +15,10 @@ import (
 	"repro/internal/agg"
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/dynamic"
 	"repro/internal/expt"
 	"repro/internal/graph"
 	"repro/internal/lower"
+	"repro/internal/perf"
 	"repro/internal/sim"
 )
 
@@ -332,152 +332,38 @@ func BenchmarkOracleForward(b *testing.B) {
 
 // --- Oracle and sweep-runner benchmarks --------------------------------
 //
-// These three benchmarks back BENCH_oracle.json, the perf-trajectory
-// record for the centralized oracle and the sweep runner (regenerate with
-// EMIT_BENCH_JSON=1, see benchjson_test.go). Each has a seq variant
-// (Workers=1) and a par variant (Workers=0, all CPUs); their outputs are
-// bit-identical, so the pair isolates the parallel speedup.
-
-// benchOracleGraph is the oracle workload: G(n, p) at n=2048 (~210k edges,
-// ~1.4M triangles), large enough that worker sharding dominates setup.
-func benchOracleGraph(b *testing.B) *graph.Graph {
-	b.Helper()
-	rng := rand.New(rand.NewSource(17))
-	return graph.Gnp(2048, 0.1, rng)
-}
-
-func benchListTriangles(workers int) func(b *testing.B) {
-	return func(b *testing.B) {
-		g := benchOracleGraph(b)
-		s := &graph.OracleScratch{Workers: workers}
-		tris := len(s.ListTriangles(g)) // warm the scratch
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if len(s.ListTriangles(g)) != tris {
-				b.Fatal("triangle count drifted")
-			}
-		}
-		b.StopTimer()
-		b.ReportMetric(float64(tris)*float64(b.N)/b.Elapsed().Seconds(), "triangles/sec")
-	}
-}
-
-func benchCountTriangles(workers int) func(b *testing.B) {
-	return func(b *testing.B) {
-		g := benchOracleGraph(b)
-		s := &graph.OracleScratch{Workers: workers}
-		tris := s.CountTriangles(g) // warm the scratch
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if s.CountTriangles(g) != tris {
-				b.Fatal("triangle count drifted")
-			}
-		}
-		b.StopTimer()
-		b.ReportMetric(float64(tris)*float64(b.N)/b.Elapsed().Seconds(), "triangles/sec")
-	}
-}
-
-// benchSweep runs the e9 baseline sweep (the cheapest full experiment that
-// still exercises graph generation, the engine and oracle verification per
-// cell) with the given sweep-cell worker count.
-func benchSweep(workers int) func(b *testing.B) {
-	return func(b *testing.B) {
-		e, err := expt.ByID("e9")
-		if err != nil {
-			b.Fatal(err)
-		}
-		cfg := expt.Config{Quick: true, Seed: 1, Workers: workers}
-		cells := len(cfg.Sizes)
-		if cells == 0 {
-			cells = 4 // Quick default sizes
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := e.Run(cfg); err != nil {
-				b.Fatal(err)
-			}
-		}
-		b.StopTimer()
-		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
-	}
-}
+// These benchmarks back BENCH_oracle.json, the perf-trajectory record for
+// the centralized oracle and the sweep runner. The workload bodies live in
+// internal/perf so `go test -bench`, the EMIT_BENCH_JSON emitters and the
+// cmd/bench regression gate all measure the same code. Each has a seq
+// variant (Workers=1) and a par variant (Workers=0, all CPUs); their
+// outputs are bit-identical, so the pair isolates the parallel speedup.
 
 // BenchmarkListTriangles — parallel oracle, listing path.
 func BenchmarkListTriangles(b *testing.B) {
-	b.Run("seq", benchListTriangles(1))
-	b.Run("par", benchListTriangles(0))
+	b.Run("seq", perf.OracleList(1))
+	b.Run("par", perf.OracleList(0))
 }
 
 // BenchmarkCountTriangles — parallel oracle, streaming-count path
 // (0 allocs/op on the warmed scratch).
 func BenchmarkCountTriangles(b *testing.B) {
-	b.Run("seq", benchCountTriangles(1))
-	b.Run("par", benchCountTriangles(0))
+	b.Run("seq", perf.OracleCount(1))
+	b.Run("par", perf.OracleCount(0))
 }
 
 // BenchmarkSweep — the expt sweep runner, sequential vs cell-parallel.
 func BenchmarkSweep(b *testing.B) {
-	b.Run("seq", benchSweep(1))
-	b.Run("par", benchSweep(0))
-}
-
-// --- Dynamic-graph benchmarks ------------------------------------------
-//
-// BenchmarkDynamicApply backs BENCH_dynamic.json: per-batch churn cost on
-// the oracle workload graph (G(2048, 0.1), ~210k edges), incremental
-// delta maintenance vs a full static recompute per batch. The batch is 1%
-// of the edges — the small-batch regime where delta maintenance must beat
-// the recompute by a wide margin (the emitter in benchjson_test.go records
-// the ratio).
-
-// benchDynamicBatch is the churn batch size: 1% of the workload graph's
-// edges.
-func benchDynamicBatch(g *graph.Graph) int { return g.M() / 100 }
-
-func benchDynamicApply(incremental bool) func(b *testing.B) {
-	return func(b *testing.B) {
-		g := benchOracleGraph(b)
-		rng := rand.New(rand.NewSource(23))
-		d := dynamic.FromGraph(g)
-		w := dynamic.NewRandomFlip(benchDynamicBatch(g))
-		scratch := graph.NewOracleScratch()
-		var o *dynamic.IncrementalOracle
-		if incremental {
-			o = dynamic.NewIncrementalOracle(d)
-		} else {
-			scratch.CountTriangles(g) // warm the recompute scratch
-		}
-		edges := 0
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			batch := w.Next(d, rng)
-			edges += len(batch.Insert) + len(batch.Delete)
-			if incremental {
-				if _, err := o.Apply(batch); err != nil {
-					b.Fatal(err)
-				}
-			} else {
-				if err := d.Apply(batch); err != nil {
-					b.Fatal(err)
-				}
-				snap, _ := d.Snapshot()
-				scratch.CountTriangles(snap)
-			}
-		}
-		b.StopTimer()
-		b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/sec")
-	}
+	b.Run("seq", perf.Sweep(1))
+	b.Run("par", perf.Sweep(0))
 }
 
 // BenchmarkDynamicApply — per-batch churn: incremental triangle
-// maintenance vs full O(m^{3/2}) recompute on every batch.
+// maintenance vs full O(m^{3/2}) recompute on every batch (backs
+// BENCH_dynamic.json).
 func BenchmarkDynamicApply(b *testing.B) {
-	b.Run("incremental", benchDynamicApply(true))
-	b.Run("full", benchDynamicApply(false))
+	b.Run("incremental", perf.DynamicApply(true))
+	b.Run("full", perf.DynamicApply(false))
 }
 
 // BenchmarkEngineParallel — substrate bench: parallel vs sequential engine
@@ -499,55 +385,23 @@ func BenchmarkEngineParallel(b *testing.B) {
 //
 // These measure the simulator substrate itself, independent of any paper
 // algorithm: steady-state rounds/sec, delivered words/sec and allocs/round
-// under a continuous all-neighbor flood. One benchmark op is exactly one
-// engine round, so the reported allocs/op is allocs/round. Run on both a
-// G(n,p) graph (uniform degrees) and a Barabasi-Albert power-law graph
-// (skewed degrees, the social-network regime from the paper's intro).
+// under a continuous all-neighbor flood (uniform G(n,p) and power-law
+// degree distributions), plus the phased sparse-activity workload that
+// isolates the activity scheduler's advantage over the dense reference
+// stepper. One benchmark op is exactly one engine round, so the reported
+// allocs/op is allocs/round. Workload bodies live in internal/perf.
 
-type floodNode struct{}
-
-func (floodNode) Init(ctx *sim.Context) {}
-
-func (floodNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
-	ctx.Broadcast(sim.Word(ctx.ID()))
-}
-
-func benchEngineStep(b *testing.B, g *graph.Graph, parallel bool) {
-	b.Helper()
-	nodes := make([]sim.Node, g.N())
-	for v := range nodes {
-		nodes[v] = floodNode{}
-	}
-	eng, err := sim.NewEngine(g, nodes, sim.Config{Seed: 1, Parallel: parallel})
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng.Run(4) // init nodes and reach steady state before measuring
-	start := eng.Metrics().WordsDelivered
-	b.ReportAllocs()
-	b.ResetTimer()
-	eng.Run(b.N)
-	b.StopTimer()
-	words := eng.Metrics().WordsDelivered - start
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
-	b.ReportMetric(float64(words)/b.Elapsed().Seconds(), "words/sec")
-}
-
-func benchEngineGnp(b *testing.B) *graph.Graph {
-	b.Helper()
-	rng := rand.New(rand.NewSource(42))
-	return graph.Gnp(512, 0.05, rng)
-}
-
-func benchEnginePowerLaw(b *testing.B) *graph.Graph {
-	b.Helper()
-	rng := rand.New(rand.NewSource(43))
-	return graph.BarabasiAlbert(512, 8, rng)
-}
-
-func BenchmarkEngineStepGnp(b *testing.B)         { benchEngineStep(b, benchEngineGnp(b), false) }
-func BenchmarkEngineStepGnpParallel(b *testing.B) { benchEngineStep(b, benchEngineGnp(b), true) }
-func BenchmarkEngineStepPowerLaw(b *testing.B)    { benchEngineStep(b, benchEnginePowerLaw(b), false) }
+func BenchmarkEngineStepGnp(b *testing.B)         { perf.EngineStepGnp(false)(b) }
+func BenchmarkEngineStepGnpParallel(b *testing.B) { perf.EngineStepGnp(true)(b) }
+func BenchmarkEngineStepPowerLaw(b *testing.B)    { perf.EngineStepPowerLaw(false)(b) }
 func BenchmarkEngineStepPowerLawParallel(b *testing.B) {
-	benchEngineStep(b, benchEnginePowerLaw(b), true)
+	perf.EngineStepPowerLaw(true)(b)
+}
+
+// BenchmarkEngineStepSparse — the phased low-duty-cycle regime (most nodes
+// asleep between phase boundaries): the dense/activity pair is the
+// scheduler speedup recorded in BENCH_engine.json.
+func BenchmarkEngineStepSparse(b *testing.B) {
+	b.Run("dense", perf.EngineStepSparse(sim.SchedulerDense))
+	b.Run("activity", perf.EngineStepSparse(sim.SchedulerActivity))
 }

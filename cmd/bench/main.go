@@ -1,0 +1,176 @@
+// Command bench is the unified perf driver and CI regression gate: it runs
+// the internal/perf benchmark suites (engine, oracle, sweep, dynamic),
+// emits one consolidated report in the shared BENCH_*.json schema, and
+// compares it against the committed baseline within a tolerance band.
+//
+// Gate mode (the default) exits nonzero when any bound is violated:
+//
+//	go run ./cmd/bench                   # full matrix vs BENCH_engine.json
+//	go run ./cmd/bench -suite engine     # one suite only
+//	go run ./cmd/bench -benchtime 200ms  # faster, noisier
+//
+// Because the committed baseline usually comes from a different machine,
+// the hard signals are allocs/op (tight band; parallel fan-outs exempt)
+// and the derived same-run speedup ratios (hard floors — e.g. the sparse
+// activity-scheduler speedup must stay >= 2x); wall-time is only held
+// within a generous factor (-time-tol). Re-baseline with
+//
+//	UPDATE_BENCH=1 go run ./cmd/bench    # or: go run ./cmd/bench -update
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseline   = fs.String("baseline", "BENCH_engine.json", "baseline report to gate against (and to rewrite with -update)")
+		update     = fs.Bool("update", false, "re-baseline: write the fresh numbers to -baseline instead of gating (also UPDATE_BENCH=1)")
+		suite      = fs.String("suite", "", "comma-separated suite filter (default: all); see -list")
+		list       = fs.Bool("list", false, "list suites and benches, then exit")
+		benchtime  = fs.String("benchtime", "1s", "per-bench measuring time (testing -benchtime syntax, e.g. 200ms or 100x)")
+		timeTol    = fs.Float64("time-tol", 0, "ns/op tolerance factor (0 = package default)")
+		allocTol   = fs.Float64("alloc-tol", 0, "allocs/op tolerance factor (0 = package default)")
+		allocSlack = fs.Int64("alloc-slack", -1, "allocs/op absolute slack (-1 = package default)")
+		floors     = fs.Bool("floors", true, "enforce hard floors on derived speedup ratios")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	tol := perf.DefaultTolerance()
+	if *timeTol > 0 {
+		tol.TimeFactor = *timeTol
+	}
+	if *allocTol > 0 {
+		tol.AllocFactor = *allocTol
+	}
+	if *allocSlack >= 0 {
+		tol.AllocSlack = *allocSlack
+	}
+	if !*floors {
+		tol.Floors = nil
+	}
+
+	suites := perf.Suites()
+	if *list {
+		for _, s := range suites {
+			fmt.Fprintf(stdout, "%s:\n", s.Name)
+			for _, b := range s.Benches {
+				fmt.Fprintf(stdout, "  %s\n", b.Name)
+			}
+		}
+		return 0
+	}
+	if *suite != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*suite, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		kept := suites[:0]
+		for _, s := range suites {
+			if want[s.Name] {
+				kept = append(kept, s)
+				delete(want, s.Name)
+			}
+		}
+		if len(want) > 0 {
+			names := make([]string, 0, len(want))
+			for name := range want {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(stderr, "bench: unknown suite(s) %s (see -list)\n", strings.Join(names, ", "))
+			return 2
+		}
+		suites = kept
+	}
+
+	// Route the requested benchtime to testing.Benchmark: in a non-test
+	// binary the testing flags exist but are never parsed, so set the flag
+	// value directly.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(stderr, "bench: bad -benchtime %q: %v\n", *benchtime, err)
+		return 2
+	}
+
+	fresh := perf.NewReport()
+	for _, s := range suites {
+		for _, b := range s.Benches {
+			e := perf.Measure(b)
+			if e.NsPerOp == 0 {
+				// A workload that b.Fatal'd yields a zero BenchmarkResult,
+				// which would sail under every bound — fail loudly instead.
+				fmt.Fprintf(stderr, "bench: %s did not run (workload failed)\n", b.Name)
+				return 2
+			}
+			fresh.Entries = append(fresh.Entries, e)
+			fmt.Fprintf(stdout, "%-28s %14.0f ns/op %8d allocs/op\n", b.Name, e.NsPerOp, e.AllocsPerOp)
+		}
+	}
+	fresh.ComputeDerived()
+	printDerived(stdout, fresh)
+
+	if *update || os.Getenv("UPDATE_BENCH") != "" {
+		merged := fresh
+		if prev, err := perf.ReadFile(*baseline); err == nil {
+			prev.Merge(fresh)
+			merged = prev
+		}
+		if err := perf.WriteFile(*baseline, merged); err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "re-baselined %s (%d entries)\n", *baseline, len(merged.Entries))
+		return 0
+	}
+
+	base, err := perf.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(stderr, "bench: cannot load baseline: %v\nrun UPDATE_BENCH=1 go run ./cmd/bench to create it\n", err)
+		return 2
+	}
+	if base.GOMAXPROCS != fresh.GOMAXPROCS || base.GoVersion != fresh.GoVersion {
+		fmt.Fprintf(stdout, "note: baseline from %s GOMAXPROCS=%d, this run %s GOMAXPROCS=%d (wall-time compared at %.1fx tolerance)\n",
+			base.GoVersion, base.GOMAXPROCS, fresh.GoVersion, fresh.GOMAXPROCS, tol.TimeFactor)
+	}
+	regs := perf.Compare(base, fresh, tol)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "regression gate: PASS (%d entries vs %s)\n", len(fresh.Entries), *baseline)
+		return 0
+	}
+	fmt.Fprintf(stderr, "regression gate: FAIL (%d violations vs %s)\n", len(regs), *baseline)
+	for _, r := range regs {
+		fmt.Fprintf(stderr, "  %s\n", r)
+	}
+	fmt.Fprintf(stderr, "if intentional, re-baseline with UPDATE_BENCH=1 go run ./cmd/bench\n")
+	return 1
+}
+
+func printDerived(w io.Writer, r perf.Report) {
+	if len(r.Derived) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(r.Derived))
+	for k := range r.Derived {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-40s %6.2fx\n", k, r.Derived[k])
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// runBench invokes run() with buffers and returns (exit, stdout, stderr).
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListSuites(t *testing.T) {
+	code, out, _ := runBench(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"engine:", "oracle:", "sweep:", "dynamic:", "EngineStepSparse/activity"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownSuite(t *testing.T) {
+	code, _, errb := runBench(t, "-suite", "nope")
+	if code != 2 || !strings.Contains(errb, "unknown suite") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestMissingBaselineAdvisesUpdate(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	code, _, errb := runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x")
+	if code != 2 || !strings.Contains(errb, "UPDATE_BENCH=1") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+// TestGateLifecycle drives the full re-baseline -> pass -> regression
+// cycle on the engine suite at 1 iteration per bench.
+func TestGateLifecycle(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_engine.json")
+
+	code, out, errb := runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-update")
+	if code != 0 {
+		t.Fatalf("update: exit %d\nstderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "re-baselined") {
+		t.Fatalf("update output: %s", out)
+	}
+	rep, err := perf.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Entry("EngineStepSparse/activity"); !ok {
+		t.Fatalf("baseline missing sparse entry: %+v", rep.Entries)
+	}
+
+	// Same machine, immediate re-run: the gate must pass. Floors stay on:
+	// even at one measured round the sparse fast-forward beats the dense
+	// scan by far more than 2x. The time band is opened wide because a
+	// single sub-microsecond iteration is pure timer noise — this test
+	// exercises the gate mechanics, not timing stability.
+	code, out, errb = runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-time-tol", "1e6")
+	if code != 0 {
+		t.Fatalf("gate: exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "regression gate: PASS") {
+		t.Fatalf("gate output: %s", out)
+	}
+
+	// Tamper the baseline so every wall-time bound is violated even at the
+	// wide-open tolerance (limit becomes ~1ns).
+	for i := range rep.Entries {
+		rep.Entries[i].NsPerOp = 1e-6
+	}
+	if err := perf.WriteFile(base, rep); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb = runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-time-tol", "1e6")
+	if code != 1 || !strings.Contains(errb, "regression gate: FAIL") {
+		t.Fatalf("tampered gate: exit %d, stderr %q", code, errb)
+	}
+}

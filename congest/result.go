@@ -69,6 +69,12 @@ type RunMeta struct {
 	// ExecutedRounds is the rounds actually run; less than ScheduledRounds
 	// exactly when the job was cancelled.
 	ExecutedRounds int `json:"executedRounds"`
+	// FastForwardedRounds is the executed-vs-simulated provenance: how many
+	// of ExecutedRounds were idle rounds the engine's activity scheduler
+	// advanced in bulk instead of stepping (every node asleep, every
+	// channel drained). It never affects results — outputs, metrics and
+	// round counts are bit-identical to stepping each idle round.
+	FastForwardedRounds int `json:"fastForwardedRounds,omitempty"`
 	// Cancelled reports that the run stopped at a context cancellation;
 	// the result then holds the deterministic prefix of the uncancelled
 	// run.
@@ -215,16 +221,17 @@ func metaOf(algo string, m core.RunMeta, eps float64, reps int) RunMeta {
 		segs[i] = SegmentPlan{Name: sp.Name, Rounds: sp.Rounds}
 	}
 	return RunMeta{
-		Algo:            algo,
-		Seed:            m.Seed,
-		Bandwidth:       m.BandwidthWords,
-		Mode:            modeName(m.Mode),
-		Parallel:        m.Parallel,
-		Eps:             eps,
-		Repetitions:     reps,
-		ScheduledRounds: m.ScheduledRounds,
-		ExecutedRounds:  m.ExecutedRounds,
-		Cancelled:       m.Cancelled,
-		Segments:        segs,
+		Algo:                algo,
+		Seed:                m.Seed,
+		Bandwidth:           m.BandwidthWords,
+		Mode:                modeName(m.Mode),
+		Parallel:            m.Parallel,
+		Eps:                 eps,
+		Repetitions:         reps,
+		ScheduledRounds:     m.ScheduledRounds,
+		ExecutedRounds:      m.ExecutedRounds,
+		FastForwardedRounds: m.FastForwardedRounds,
+		Cancelled:           m.Cancelled,
+		Segments:            segs,
 	}
 }

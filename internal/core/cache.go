@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// EngineCache pools engines and node slices across independent runs over
+// DIFFERENT graphs, keyed by everything that fixes an engine's slab shape:
+// vertex count, mode, bandwidth, parallelism and scheduler. It is the
+// sweep-cell reuse path: consecutive cells run over freshly generated
+// graphs of recurring sizes, so a per-graph Runner never gets a second hit,
+// but a size-keyed cache re-points a drained engine at the next cell's
+// graph with Engine.Rebind (or Engine.Reset when the graph is the very
+// same), keeping every slab allocation. Results are identical to the
+// one-shot package functions for the same (graph, config, seed) — the
+// determinism contract — which the pooled-vs-fresh tests assert.
+//
+// The cache is safe for concurrent use; each borrowed engine belongs to one
+// run until it is returned. Config.MaxRounds is not part of the key: the
+// planned runs the cache executes drive the engine with explicit round
+// budgets and never consult it. Idle retention is bounded at maxFreePerKey
+// engines (and node slices) per shape — enough for a full sweep fan-out's
+// concurrency — so a long-lived process's memory scales with concurrent
+// load, not with the variety of shapes it has ever served.
+type EngineCache struct {
+	mu      sync.Mutex
+	engines map[engineKey][]*sim.Engine
+	nodes   map[int][][]sim.Node
+}
+
+type engineKey struct {
+	n         int
+	mode      sim.Mode
+	bandwidth int
+	parallel  bool
+	scheduler sim.Scheduler
+}
+
+// maxFreePerKey bounds the idle engines (and node slices) retained per
+// shape; returns beyond it are dropped for the GC.
+const maxFreePerKey = 8
+
+// NewEngineCache returns an empty cache.
+func NewEngineCache() *EngineCache {
+	return &EngineCache{
+		engines: make(map[engineKey][]*sim.Engine),
+		nodes:   make(map[int][][]sim.Node),
+	}
+}
+
+// keyFor keys on the engine's own default resolution, so explicit and
+// defaulted configs share a pool.
+func keyFor(n int, cfg sim.Config) engineKey {
+	cfg = cfg.Normalized()
+	return engineKey{n: n, mode: cfg.Mode, bandwidth: cfg.BandwidthWords,
+		parallel: cfg.Parallel, scheduler: cfg.Scheduler}
+}
+
+func (c *EngineCache) getNodes(n int) []sim.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bufs := c.nodes[n]
+	if len(bufs) == 0 {
+		return make([]sim.Node, n)
+	}
+	buf := bufs[len(bufs)-1]
+	bufs[len(bufs)-1] = nil
+	c.nodes[n] = bufs[:len(bufs)-1]
+	return buf
+}
+
+func (c *EngineCache) putNodes(nodes []sim.Node) {
+	clear(nodes) // drop node references before pooling the slice
+	c.mu.Lock()
+	if len(c.nodes[len(nodes)]) < maxFreePerKey {
+		c.nodes[len(nodes)] = append(c.nodes[len(nodes)], nodes)
+	}
+	c.mu.Unlock()
+}
+
+// getEngine returns an engine over g initialized for a fresh run, reusing a
+// shape-compatible pooled engine when one is free.
+func (c *EngineCache) getEngine(g *graph.Graph, nodes []sim.Node, cfg sim.Config) (*sim.Engine, error) {
+	key := keyFor(g.N(), cfg)
+	c.mu.Lock()
+	var e *sim.Engine
+	if free := c.engines[key]; len(free) > 0 {
+		e = free[len(free)-1]
+		free[len(free)-1] = nil
+		c.engines[key] = free[:len(free)-1]
+	}
+	c.mu.Unlock()
+	if e == nil {
+		return sim.NewEngine(g, nodes, cfg)
+	}
+	if e.Input() == g {
+		if err := e.Reset(nodes, cfg.Seed); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if err := e.Rebind(g, nodes, cfg.Seed); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (c *EngineCache) putEngine(cfg sim.Config, e *sim.Engine) {
+	key := keyFor(e.Input().N(), cfg)
+	c.mu.Lock()
+	if len(c.engines[key]) < maxFreePerKey {
+		c.engines[key] = append(c.engines[key], e)
+	}
+	c.mu.Unlock()
+}
+
+func (c *EngineCache) run(g *graph.Graph, mkNodes func(nodes []sim.Node), plan []SegmentPlan, cfg sim.Config) (Result, error) {
+	nodes := c.getNodes(g.N())
+	mkNodes(nodes)
+	eng, err := c.getEngine(g, nodes, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := runPlanned(context.Background(), eng, plan, nil)
+	c.putEngine(cfg, eng)
+	c.putNodes(nodes)
+	return res, err
+}
+
+// RunSingle is the package-level RunSingle with cached engine and node
+// state.
+func (c *EngineCache) RunSingle(g *graph.Graph, sched *sim.Schedule, mk func(id int) sim.Node, cfg sim.Config) (Result, error) {
+	return c.run(g, func(nodes []sim.Node) {
+		for v := range nodes {
+			nodes[v] = mk(v)
+		}
+	}, singlePlan(sched), cfg)
+}
+
+// RunSequence is the package-level RunSequence with cached engine and node
+// state.
+func (c *EngineCache) RunSequence(g *graph.Graph, segs []Segment, cfg sim.Config) (Result, error) {
+	if len(segs) == 0 {
+		return Result{}, errEmptySequence
+	}
+	return c.run(g, func(nodes []sim.Node) {
+		for v := range nodes {
+			nodes[v] = NewSequenceNode(segs, v)
+		}
+	}, Plan(segs), cfg)
+}
+
+// FindTriangles is the package-level FindTriangles with cached engine and
+// node state.
+func (c *EngineCache) FindTriangles(g *graph.Graph, opt FinderOptions, cfg sim.Config) (bool, Result, error) {
+	segs, err := NewFinder(g.N(), bandwidthOf(cfg), opt)
+	if err != nil {
+		return false, Result{}, err
+	}
+	res, err := c.RunSequence(g, segs, cfg)
+	if err != nil {
+		return false, res, err
+	}
+	return len(res.Union) > 0, res, nil
+}
+
+// ListAllTriangles is the package-level ListAllTriangles with cached engine
+// and node state.
+func (c *EngineCache) ListAllTriangles(g *graph.Graph, opt ListerOptions, cfg sim.Config) (Result, error) {
+	segs, err := NewLister(g.N(), bandwidthOf(cfg), opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.RunSequence(g, segs, cfg)
+}
+
+// TestTriangleFreeness is the package-level TestTriangleFreeness with
+// cached engine and node state.
+func (c *EngineCache) TestTriangleFreeness(g *graph.Graph, probes int, cfg sim.Config) (bool, Result, error) {
+	sched, mk := NewPropertyTester(g.N(), bandwidthOf(cfg), probes)
+	res, err := c.RunSingle(g, sched, mk, cfg)
+	if err != nil {
+		return false, res, err
+	}
+	return len(res.Union) > 0, res, nil
+}

@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// TestEngineCacheMatchesOneShot pins the cross-graph cache to the one-shot
+// path: cells over DIFFERENT graphs of recurring sizes (the sweep pattern,
+// where every reuse goes through Engine.Rebind) must produce bit-identical
+// Results, across modes and both single-schedule and sequence runs.
+func TestEngineCacheMatchesOneShot(t *testing.T) {
+	c := core.NewEngineCache()
+	sizes := []int{20, 26, 20, 26, 20} // recurring sizes force cache hits
+	for i, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(100 + i)))
+		g := graph.Gnp(n, 0.4, rng)
+		cfg := sim.Config{Seed: int64(i)}
+
+		sched, mk := baseline.NewTwoHop(g.N(), 2, g.MaxDegree(), baseline.TwoHopGlobal)
+		got, err := c.RunSingle(g, sched, mk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.RunSingle(g, sched, mk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cell %d (n=%d): cached RunSingle diverges from one-shot", i, n)
+		}
+
+		segs, err := core.NewLister(g.N(), 2, core.ListerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSeq, err := c.RunSequence(g, segs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSeq, err := core.RunSequence(g, segs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotSeq, wantSeq) {
+			t.Fatalf("cell %d (n=%d): cached RunSequence diverges from one-shot", i, n)
+		}
+
+		dol, dolMk, err := baseline.NewDolev(g, 2, baseline.DolevCubeRoot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clique := sim.Config{Mode: sim.ModeClique, Seed: int64(i)}
+		gotCl, err := c.RunSingle(g, dol, dolMk, clique)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCl, err := core.RunSingle(g, dol, dolMk, clique)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotCl, wantCl) {
+			t.Fatalf("cell %d (n=%d): cached clique run diverges from one-shot", i, n)
+		}
+	}
+}
+
+// TestEngineCacheConcurrent exercises the cache from parallel workers (the
+// sweep fan-out shape) under -race, asserting each worker still gets the
+// deterministic result.
+func TestEngineCacheConcurrent(t *testing.T) {
+	c := core.NewEngineCache()
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Gnp(24, 0.5, rng)
+	sched, mk := baseline.NewTwoHop(g.N(), 2, g.MaxDegree(), baseline.TwoHopGlobal)
+	cfg := sim.Config{Seed: 42}
+	want, err := core.RunSingle(g, sched, mk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := range errs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				got, err := c.RunSingle(g, sched, mk, cfg)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs[w] = errDiverged
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errDiverged = &divergedError{}
+
+type divergedError struct{}
+
+func (*divergedError) Error() string { return "cached run diverges from one-shot" }

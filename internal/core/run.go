@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/graph"
@@ -27,6 +28,12 @@ type RunMeta struct {
 	// ExecutedRounds is the rounds actually run; less than ScheduledRounds
 	// exactly when the run was cancelled.
 	ExecutedRounds int
+	// FastForwardedRounds is how many of ExecutedRounds were idle rounds
+	// the activity scheduler advanced through its fast path instead of
+	// stepping (executed-vs-simulated provenance; see sim.Metrics). It is
+	// scheduler provenance, not model behavior: every other field — and
+	// every output — is identical whichever scheduler ran.
+	FastForwardedRounds int
 	// Cancelled reports that the run stopped at a context cancellation; the
 	// Result then holds the deterministic prefix of the uncancelled run.
 	Cancelled bool
@@ -73,6 +80,9 @@ func singlePlan(sched *sim.Schedule) []SegmentPlan {
 	return []SegmentPlan{{Name: "run", Rounds: TotalRounds(sched)}}
 }
 
+// errEmptySequence rejects zero-segment sequence runs.
+var errEmptySequence = errors.New("core: empty segment sequence")
+
 // RunSequence executes a sequence of segments (e.g. the Theorem-1 finder's
 // repeated A1;A3) on g.
 func RunSequence(g *graph.Graph, segs []Segment, cfg sim.Config) (Result, error) {
@@ -83,7 +93,7 @@ func RunSequence(g *graph.Graph, segs []Segment, cfg sim.Config) (Result, error)
 // observation (see RunSingleContext for the cancellation contract).
 func RunSequenceContext(ctx context.Context, g *graph.Graph, segs []Segment, cfg sim.Config, obs Observer) (Result, error) {
 	if len(segs) == 0 {
-		return Result{}, fmt.Errorf("core: empty segment sequence")
+		return Result{}, errEmptySequence
 	}
 	nodes := make([]sim.Node, g.N())
 	for v := range nodes {
@@ -125,20 +135,22 @@ func runPlanned(ctx context.Context, eng *sim.Engine, plan []SegmentPlan, obs Ob
 		}
 		start += sp.Rounds
 	}
+	metrics := eng.Metrics()
 	res := Result{
 		Outputs:         col.outputs,
 		Union:           col.union,
-		Metrics:         eng.Metrics(),
+		Metrics:         metrics,
 		ScheduledRounds: scheduled,
 		Meta: RunMeta{
-			Seed:            cfg.Seed,
-			BandwidthWords:  cfg.BandwidthWords,
-			Mode:            cfg.Mode,
-			Parallel:        cfg.Parallel,
-			ScheduledRounds: scheduled,
-			ExecutedRounds:  eng.Round(),
-			Cancelled:       runErr != nil,
-			Segments:        plan,
+			Seed:                cfg.Seed,
+			BandwidthWords:      cfg.BandwidthWords,
+			Mode:                cfg.Mode,
+			Parallel:            cfg.Parallel,
+			ScheduledRounds:     scheduled,
+			ExecutedRounds:      eng.Round(),
+			FastForwardedRounds: metrics.FastForwardedRounds,
+			Cancelled:           runErr != nil,
+			Segments:            plan,
 		},
 	}
 	if runErr != nil {

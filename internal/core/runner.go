@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sync"
 
 	"repro/internal/graph"
@@ -61,7 +60,7 @@ func (r *Runner) RunSequence(segs []Segment, seed int64) (Result, error) {
 // observation.
 func (r *Runner) RunSequenceContext(ctx context.Context, segs []Segment, seed int64, obs Observer) (Result, error) {
 	if len(segs) == 0 {
-		return Result{}, fmt.Errorf("core: empty segment sequence")
+		return Result{}, errEmptySequence
 	}
 	nodes := r.nodes()
 	for v := range nodes {

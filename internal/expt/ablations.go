@@ -80,7 +80,7 @@ func runAbHash(cfg Config) (*Table, error) {
 			if err != nil {
 				return hashRow{}, false, err
 			}
-			res, err := core.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+int64(trial), sim.ModeCONGEST))
+			res, err := cells.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+int64(trial), sim.ModeCONGEST))
 			if err != nil {
 				return hashRow{}, false, err
 			}
@@ -161,11 +161,11 @@ func runAbRoute(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.RunSingle(rc.g, sched, mk, cfg.simCfg(seed, sim.ModeClique))
+			res, err := cells.RunSingle(rc.g, sched, mk, cfg.simCfg(seed, sim.ModeClique))
 			if err != nil {
 				return nil, err
 			}
-			if err := core.VerifyListing(rc.g, res); err != nil {
+			if err := verifyListing(rc.g, res); err != nil {
 				return nil, fmt.Errorf("ab-route n=%d %s: %w", n, rc.key, err)
 			}
 			vals[rc.key] = float64(res.ScheduledRounds)

@@ -1,0 +1,30 @@
+package expt
+
+import "testing"
+
+// TestSweepAllocsBounded pins the per-cell pooling: after one warming
+// sweep, a full e9 quick run (4 cells: graph generation, engine run,
+// oracle verification each) must stay within an allocation budget that a
+// fresh-engine-per-cell implementation blows past several-fold. The bound
+// has headroom over the measured steady state (~2.2k allocs/sweep, down
+// from ~10.8k before the EngineCache and the pooled verification oracle);
+// graph generation and the per-node state machines legitimately allocate
+// per cell.
+func TestSweepAllocsBounded(t *testing.T) {
+	e, err := ByID("e9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Quick: true, Seed: 1, Workers: 1}
+	run := func() {
+		if _, err := e.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the engine cache and oracle scratch pool
+	allocs := testing.AllocsPerRun(3, run)
+	const bound = 4000
+	if allocs > bound {
+		t.Fatalf("e9 quick sweep: %.0f allocs/run, budget %d — per-cell pooling regressed", allocs, bound)
+	}
+}

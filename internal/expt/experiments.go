@@ -141,11 +141,11 @@ func runE1(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+int64(i), sim.ModeClique))
+		res, err := cells.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+int64(i), sim.ModeClique))
 		if err != nil {
 			return nil, err
 		}
-		if err := core.VerifyListing(g, res); err != nil {
+		if err := verifyListing(g, res); err != nil {
 			return nil, fmt.Errorf("e1 n=%d: %w", n, err)
 		}
 		_, maxBits := res.Metrics.MaxBitsReceived()
@@ -186,11 +186,11 @@ func runE2(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+200+int64(i), sim.ModeClique))
+		res, err := cells.RunSingle(g, sched, mk, cfg.simCfg(cfg.Seed+200+int64(i), sim.ModeClique))
 		if err != nil {
 			return nil, err
 		}
-		if err := core.VerifyListing(g, res); err != nil {
+		if err := verifyListing(g, res); err != nil {
 			return nil, fmt.Errorf("e2 n=%d: %w", n, err)
 		}
 		return map[string]float64{
@@ -254,15 +254,15 @@ func runE4(cfg Config) (*Table, error) {
 		seed := cfg.Seed + 300 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
-		found, res, err := core.FindTriangles(g, core.FinderOptions{}, cfg.simCfg(seed, sim.ModeCONGEST))
+		found, res, err := cells.FindTriangles(g, core.FinderOptions{}, cfg.simCfg(seed, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
-		if err := core.VerifyFinding(g, res); err != nil {
+		if err := verifyFinding(g, res); err != nil {
 			return nil, fmt.Errorf("e4 n=%d: %w", n, err)
 		}
 		gp, _ := graph.PlantedTriangles(n, 2+n/16, rng)
-		pFound, pRes, err := core.FindTriangles(gp, core.FinderOptions{}, cfg.simCfg(seed+1, sim.ModeCONGEST))
+		pFound, pRes, err := cells.FindTriangles(gp, core.FinderOptions{}, cfg.simCfg(seed+1, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +270,7 @@ func runE4(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		gb := graph.RandomBipartite(n/2, n-n/2, 0.5, rng)
-		bFound, bRes, err := core.FindTriangles(gb, core.FinderOptions{}, cfg.simCfg(seed+2, sim.ModeCONGEST))
+		bFound, bRes, err := cells.FindTriangles(gb, core.FinderOptions{}, cfg.simCfg(seed+2, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
@@ -318,12 +318,12 @@ func runE5(cfg Config) (*Table, error) {
 		seed := cfg.Seed + 400 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
-		res, err := core.ListAllTriangles(g, core.ListerOptions{}, cfg.simCfg(seed, sim.ModeCONGEST))
+		res, err := cells.ListAllTriangles(g, core.ListerOptions{}, cfg.simCfg(seed, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
 		complete := 1.0
-		if err := core.VerifyListing(g, res); err != nil {
+		if err := verifyListing(g, res); err != nil {
 			complete = 0 // probabilistic miss; reported, not fatal
 		}
 		if err := core.VerifyOneSided(g, res); err != nil {
@@ -369,11 +369,11 @@ func runE6(cfg Config) (*Table, error) {
 		// A complete broadcast-CONGEST finder: two-hop exchange restricted
 		// to the one-message-per-round broadcast channel.
 		sched, mk := baseline.NewTwoHop(g.N(), cfg.bandwidth(), g.MaxDegree(), baseline.TwoHopGlobal)
-		res, err := core.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeBroadcast))
+		res, err := cells.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeBroadcast))
 		if err != nil {
 			return nil, err
 		}
-		if err := core.VerifyListing(g, res); err != nil {
+		if err := verifyListing(g, res); err != nil {
 			return nil, fmt.Errorf("e6 n=%d: %w", n, err)
 		}
 		// Algorithm A1 is also broadcast-legal; on dense G(n,1/2) almost
@@ -381,7 +381,7 @@ func runE6(cfg Config) (*Table, error) {
 		// O(n^{1-eps}) broadcast rounds.
 		p := core.Params{N: n, Eps: core.EpsFindingPure, B: cfg.bandwidth()}
 		s1, mk1 := core.NewA1(p)
-		res1, err := core.RunSingle(g, s1, mk1, cfg.simCfg(seed+1, sim.ModeBroadcast))
+		res1, err := cells.RunSingle(g, s1, mk1, cfg.simCfg(seed+1, sim.ModeBroadcast))
 		if err != nil {
 			return nil, err
 		}
@@ -431,7 +431,7 @@ func runE7(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeClique))
+		res, err := cells.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeClique))
 		if err != nil {
 			return nil, err
 		}
@@ -473,7 +473,7 @@ func runE8(cfg Config) (*Table, error) {
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
 		sched, mk := baseline.NewTwoHop(g.N(), cfg.bandwidth(), g.MaxDegree(), baseline.TwoHopLocal)
-		res, err := core.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeCONGEST))
+		res, err := cells.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
@@ -519,11 +519,11 @@ func runE9(cfg Config) (*Table, error) {
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
 		sched, mk := baseline.NewTwoHop(g.N(), cfg.bandwidth(), g.MaxDegree(), baseline.TwoHopGlobal)
-		res, err := core.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeCONGEST))
+		res, err := cells.RunSingle(g, sched, mk, cfg.simCfg(seed, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
-		if err := core.VerifyListing(g, res); err != nil {
+		if err := verifyListing(g, res); err != nil {
 			return nil, fmt.Errorf("e9 n=%d: %w", n, err)
 		}
 		return map[string]float64{

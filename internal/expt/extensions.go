@@ -31,11 +31,11 @@ func runExtCount(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		oracle := graph.CountTriangles(g)
+		oracle := oracleCount(g)
 		if cres.Count != int64(oracle) {
 			return nil, fmt.Errorf("ext-count n=%d: counted %d, oracle %d", n, cres.Count, oracle)
 		}
-		lres, err := core.ListAllTriangles(g, core.ListerOptions{}, cfg.simCfg(seed+1, sim.ModeCONGEST))
+		lres, err := cells.ListAllTriangles(g, core.ListerOptions{}, cfg.simCfg(seed+1, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +72,7 @@ func runExtTester(cfg Config) (*Table, error) {
 		seed := cfg.Seed + 1100 + int64(i)
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.Gnp(n, 0.5, rng)
-		det, tres, err := core.TestTriangleFreeness(g, probes, cfg.simCfg(seed, sim.ModeCONGEST))
+		det, tres, err := cells.TestTriangleFreeness(g, probes, cfg.simCfg(seed, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +80,7 @@ func runExtTester(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		gb := graph.RandomBipartite(n/2, n-n/2, 0.5, rng)
-		fp, bres, err := core.TestTriangleFreeness(gb, probes, cfg.simCfg(seed+1, sim.ModeCONGEST))
+		fp, bres, err := cells.TestTriangleFreeness(gb, probes, cfg.simCfg(seed+1, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}
@@ -90,7 +90,7 @@ func runExtTester(cfg Config) (*Table, error) {
 		if fp {
 			return nil, fmt.Errorf("ext-test n=%d: impossible false positive on bipartite input", n)
 		}
-		_, fres, err := core.FindTriangles(g, core.FinderOptions{}, cfg.simCfg(seed+2, sim.ModeCONGEST))
+		_, fres, err := cells.FindTriangles(g, core.FinderOptions{}, cfg.simCfg(seed+2, sim.ModeCONGEST))
 		if err != nil {
 			return nil, err
 		}

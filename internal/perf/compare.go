@@ -1,0 +1,115 @@
+package perf
+
+import "fmt"
+
+// Tolerance is the regression-gate band. The defaults (DefaultTolerance)
+// are deliberately asymmetric: allocs/op is near-deterministic for the
+// sequential workloads, so it is held tightly; wall-time is compared only
+// within a generous factor because the committed baseline usually comes
+// from a different machine; the derived same-run speedup ratios carry hard
+// floors because they are machine-portable.
+type Tolerance struct {
+	// TimeFactor fails an entry when fresh ns/op exceeds baseline ns/op by
+	// more than this factor. 0 disables the time check.
+	TimeFactor float64
+	// AllocFactor and AllocSlack fail an entry when fresh allocs/op exceed
+	// baseline*AllocFactor + AllocSlack. 0 disables the allocs check.
+	// Entries marked NoAllocGate (in either report) are always skipped.
+	AllocFactor float64
+	AllocSlack  int64
+	// Floors are hard minima on the fresh report's derived ratios,
+	// independent of the baseline (e.g. the sparse-scheduler speedup must
+	// stay >= 2x). A floor whose ratio is absent from the fresh report is
+	// only enforced when both underlying entries were measured.
+	Floors map[string]float64
+}
+
+// DefaultTolerance is the band cmd/bench and CI use.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		TimeFactor:  4.0,
+		AllocFactor: 1.25,
+		AllocSlack:  64,
+		Floors: map[string]float64{
+			"speedup_sparse_activity_vs_dense":    2.0,
+			"speedup_dynamic_incremental_vs_full": 1.5,
+		},
+	}
+}
+
+// Regression is one violated bound.
+type Regression struct {
+	Name   string  // entry name or derived key
+	Metric string  // "ns_per_op", "allocs_per_op" or "derived"
+	Base   float64 // baseline value (or the floor, for derived checks)
+	Fresh  float64
+	Limit  float64 // the bound Fresh violated
+}
+
+func (r Regression) String() string {
+	switch r.Metric {
+	case "derived":
+		return fmt.Sprintf("%s: derived ratio %.2f below floor %.2f", r.Name, r.Fresh, r.Limit)
+	case "allocs_per_op":
+		return fmt.Sprintf("%s: %d allocs/op, baseline %d (limit %d)", r.Name, int64(r.Fresh), int64(r.Base), int64(r.Limit))
+	default:
+		return fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (limit %.0f)", r.Name, r.Fresh, r.Base, r.Limit)
+	}
+}
+
+// Compare checks every fresh entry that has a baseline counterpart against
+// the tolerance band, plus the derived floors. Entries without a baseline
+// counterpart are new and pass (commit a re-baseline to start gating them);
+// baseline entries not re-run are ignored (the partial -suite path).
+func Compare(base, fresh Report, tol Tolerance) []Regression {
+	var regs []Regression
+	for _, f := range fresh.Entries {
+		b, ok := base.Entry(f.Name)
+		if !ok {
+			continue
+		}
+		if tol.TimeFactor > 0 && b.NsPerOp > 0 {
+			limit := b.NsPerOp * tol.TimeFactor
+			if f.NsPerOp > limit {
+				regs = append(regs, Regression{Name: f.Name, Metric: "ns_per_op", Base: b.NsPerOp, Fresh: f.NsPerOp, Limit: limit})
+			}
+		}
+		if tol.AllocFactor > 0 && !f.NoAllocGate && !b.NoAllocGate {
+			limit := int64(float64(b.AllocsPerOp)*tol.AllocFactor) + tol.AllocSlack
+			if f.AllocsPerOp > limit {
+				regs = append(regs, Regression{Name: f.Name, Metric: "allocs_per_op",
+					Base: float64(b.AllocsPerOp), Fresh: float64(f.AllocsPerOp), Limit: float64(limit)})
+			}
+		}
+	}
+	for key, floor := range tol.Floors {
+		v, ok := fresh.Derived[key]
+		if !ok {
+			// Enforce a missing ratio only when its inputs were measured:
+			// a partial -suite run that skipped them is not a regression.
+			if !derivedMeasurable(fresh, key) {
+				continue
+			}
+			regs = append(regs, Regression{Name: key, Metric: "derived", Base: floor, Fresh: 0, Limit: floor})
+			continue
+		}
+		if v < floor {
+			regs = append(regs, Regression{Name: key, Metric: "derived", Base: floor, Fresh: v, Limit: floor})
+		}
+	}
+	return regs
+}
+
+// derivedMeasurable reports whether both entries behind a derived ratio are
+// present in the report.
+func derivedMeasurable(r Report, key string) bool {
+	for _, d := range derivedRatios {
+		if d.Key != key {
+			continue
+		}
+		_, okN := r.Entry(d.Num)
+		_, okD := r.Entry(d.Den)
+		return okN && okD
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package perf
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	rep := NewReport()
+	rep.Entries = []Entry{
+		{Name: "A/seq", NsPerOp: 100, AllocsPerOp: 3, TrianglesPerSec: 7},
+		{Name: "A/par", NsPerOp: 50, AllocsPerOp: 40, NoAllocGate: true},
+	}
+	rep.Derived = map[string]float64{"x": 2}
+	if err := WriteFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip drifted:\n%+v\n%+v", rep, got)
+	}
+}
+
+func TestMergeReplacesAndAppends(t *testing.T) {
+	base := Report{Entries: []Entry{
+		{Name: "EngineStepSparse/dense", NsPerOp: 900},
+		{Name: "EngineStepSparse/activity", NsPerOp: 300},
+		{Name: "Old/only", NsPerOp: 5},
+	}}
+	fresh := NewReport()
+	fresh.Entries = []Entry{
+		{Name: "EngineStepSparse/activity", NsPerOp: 100},
+		{Name: "New/bench", NsPerOp: 7},
+	}
+	base.Merge(fresh)
+	if e, _ := base.Entry("EngineStepSparse/activity"); e.NsPerOp != 100 {
+		t.Fatalf("replace failed: %+v", e)
+	}
+	if _, ok := base.Entry("Old/only"); !ok {
+		t.Fatal("untouched entry dropped")
+	}
+	if _, ok := base.Entry("New/bench"); !ok {
+		t.Fatal("new entry not appended")
+	}
+	// Derived recomputed from the merged entries: 900/100.
+	if got := base.Derived["speedup_sparse_activity_vs_dense"]; got != 9 {
+		t.Fatalf("derived = %v, want 9", got)
+	}
+}
+
+func TestCompareBounds(t *testing.T) {
+	base := Report{Entries: []Entry{
+		{Name: "seq", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "par", NsPerOp: 100, AllocsPerOp: 1, NoAllocGate: true},
+	}}
+	tol := Tolerance{TimeFactor: 2, AllocFactor: 1.5, AllocSlack: 2}
+
+	fresh := Report{Entries: []Entry{
+		{Name: "seq", NsPerOp: 150, AllocsPerOp: 17}, // within 2x time, 10*1.5+2 allocs
+		{Name: "par", NsPerOp: 150, AllocsPerOp: 500, NoAllocGate: true},
+		{Name: "unbaselined", NsPerOp: 1e9, AllocsPerOp: 1e6},
+	}}
+	if regs := Compare(base, fresh, tol); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+
+	fresh.Entries[0].NsPerOp = 201
+	fresh.Entries[0].AllocsPerOp = 18
+	regs := Compare(base, fresh, tol)
+	if len(regs) != 2 {
+		t.Fatalf("want time+allocs regressions, got %v", regs)
+	}
+	for _, r := range regs {
+		if r.Name != "seq" || r.String() == "" {
+			t.Fatalf("bad regression %+v", r)
+		}
+	}
+}
+
+func TestCompareFloors(t *testing.T) {
+	tol := Tolerance{Floors: map[string]float64{"speedup_sparse_activity_vs_dense": 2}}
+	fresh := Report{
+		Entries: []Entry{
+			{Name: "EngineStepSparse/dense", NsPerOp: 300},
+			{Name: "EngineStepSparse/activity", NsPerOp: 200},
+		},
+		Derived: map[string]float64{"speedup_sparse_activity_vs_dense": 1.5},
+	}
+	regs := Compare(Report{}, fresh, tol)
+	if len(regs) != 1 || regs[0].Metric != "derived" {
+		t.Fatalf("want floor violation, got %v", regs)
+	}
+
+	// A partial run that never measured the pair is not a violation...
+	if regs := Compare(Report{}, Report{}, tol); len(regs) != 0 {
+		t.Fatalf("missing inputs flagged: %v", regs)
+	}
+	// ...but measuring the pair without the ratio is.
+	fresh.Derived = nil
+	if regs := Compare(Report{}, fresh, tol); len(regs) != 1 {
+		t.Fatalf("measured-but-missing ratio not flagged: %v", regs)
+	}
+}

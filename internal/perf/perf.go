@@ -1,0 +1,145 @@
+// Package perf is the unified performance harness: one schema for the
+// machine-readable benchmark trajectory files (BENCH_*.json), the benchmark
+// workload suites shared by `go test -bench`, the EMIT_BENCH_JSON emitters
+// and the cmd/bench driver, and the baseline comparison that cmd/bench
+// turns into a CI regression gate.
+//
+// The committed baseline files hold numbers from the machine that last
+// regenerated them (see their go_version/goarch/gomaxprocs header), so the
+// gate's machine-portable signals are allocs/op — deterministic for the
+// sequential workloads — and the derived same-run speedup ratios; wall-time
+// is compared only within a generous tolerance band. Re-baseline with
+//
+//	UPDATE_BENCH=1 go run ./cmd/bench
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Entry is one benchmark's measured numbers — the shared row schema of
+// every BENCH_*.json file.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// Workload-specific throughput metrics (copied from the benchmark's
+	// ReportMetric extras; zero values are omitted).
+	TrianglesPerSec float64 `json:"triangles_per_sec,omitempty"`
+	CellsPerSec     float64 `json:"cells_per_sec,omitempty"`
+	EdgesPerSec     float64 `json:"edges_per_sec,omitempty"`
+	RoundsPerSec    float64 `json:"rounds_per_sec,omitempty"`
+	WordsPerSec     float64 `json:"words_per_sec,omitempty"`
+
+	// NoAllocGate marks entries whose allocation count legitimately varies
+	// across machines (parallel fan-outs allocate per GOMAXPROCS worker);
+	// Compare skips the allocs check for them.
+	NoAllocGate bool `json:"no_alloc_gate,omitempty"`
+}
+
+// Report is a full benchmark run: environment provenance, entries, and
+// derived same-run ratios (speedups computed between entries of this run,
+// which makes them machine-portable).
+type Report struct {
+	GoVersion  string             `json:"go_version"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Entries    []Entry            `json:"entries"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+// NewReport returns a Report stamped with the current environment.
+func NewReport() Report {
+	return Report{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Entry returns the named entry, if present.
+func (r *Report) Entry(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Merge replaces or appends fresh entries into r (the partial-suite
+// re-baseline path: entries not re-run keep their old numbers) and restamps
+// the environment header.
+func (r *Report) Merge(fresh Report) {
+	for _, e := range fresh.Entries {
+		replaced := false
+		for i := range r.Entries {
+			if r.Entries[i].Name == e.Name {
+				r.Entries[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			r.Entries = append(r.Entries, e)
+		}
+	}
+	r.GoVersion = fresh.GoVersion
+	r.GOARCH = fresh.GOARCH
+	r.GOMAXPROCS = fresh.GOMAXPROCS
+	r.ComputeDerived()
+}
+
+// derivedRatios defines the derived speedups: Key = ns_per_op(Num) /
+// ns_per_op(Den). Each is computed within one run, so it compares two
+// measurements from the same machine.
+var derivedRatios = []struct{ Key, Num, Den string }{
+	{"speedup_sparse_activity_vs_dense", "EngineStepSparse/dense", "EngineStepSparse/activity"},
+	{"speedup_dynamic_incremental_vs_full", "DynamicApply/full", "DynamicApply/incremental"},
+	{"speedup_oracle_list_par_vs_seq", "ListTriangles/seq", "ListTriangles/par"},
+	{"speedup_sweep_par_vs_seq", "Sweep/seq", "Sweep/par"},
+}
+
+// ComputeDerived (re)fills Derived from the ratio definitions, for every
+// ratio whose two entries are present.
+func (r *Report) ComputeDerived() {
+	for _, d := range derivedRatios {
+		num, okN := r.Entry(d.Num)
+		den, okD := r.Entry(d.Den)
+		if !okN || !okD || den.NsPerOp <= 0 {
+			continue
+		}
+		if r.Derived == nil {
+			r.Derived = map[string]float64{}
+		}
+		r.Derived[d.Key] = num.NsPerOp / den.NsPerOp
+	}
+}
+
+// WriteFile writes the report as indented JSON (the diffable committed
+// form).
+func WriteFile(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	return r, nil
+}

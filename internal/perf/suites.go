@@ -1,0 +1,321 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// This file defines the benchmark workloads once, as func(*testing.B)
+// closures, so the `go test -bench` wrappers in bench_test.go, the
+// EMIT_BENCH_JSON emitters and the cmd/bench driver all measure the same
+// code. Each workload reports its throughput as ReportMetric extras, which
+// Measure copies into the shared Entry schema.
+
+// Bench is one named workload of a Suite.
+type Bench struct {
+	Name string
+	Fn   func(*testing.B)
+	// NoAllocGate marks workloads whose allocations scale with GOMAXPROCS
+	// (parallel fan-outs); the regression gate skips their allocs check.
+	NoAllocGate bool
+}
+
+// Suite is a named group of workloads, selectable in cmd/bench with -suite.
+type Suite struct {
+	Name    string
+	Benches []Bench
+}
+
+// Suites returns the full benchmark matrix behind BENCH_engine.json.
+func Suites() []Suite {
+	return []Suite{
+		{Name: "engine", Benches: []Bench{
+			{Name: "EngineStep/gnp", Fn: EngineStepGnp(false)},
+			{Name: "EngineStep/gnp-par", Fn: EngineStepGnp(true), NoAllocGate: true},
+			{Name: "EngineStep/powerlaw", Fn: EngineStepPowerLaw(false)},
+			{Name: "EngineStep/powerlaw-par", Fn: EngineStepPowerLaw(true), NoAllocGate: true},
+			{Name: "EngineStepSparse/dense", Fn: EngineStepSparse(sim.SchedulerDense)},
+			{Name: "EngineStepSparse/activity", Fn: EngineStepSparse(sim.SchedulerActivity)},
+		}},
+		{Name: "oracle", Benches: []Bench{
+			{Name: "ListTriangles/seq", Fn: OracleList(1)},
+			{Name: "ListTriangles/par", Fn: OracleList(0), NoAllocGate: true},
+			{Name: "CountTriangles/seq", Fn: OracleCount(1)},
+			{Name: "CountTriangles/par", Fn: OracleCount(0), NoAllocGate: true},
+		}},
+		{Name: "sweep", Benches: []Bench{
+			{Name: "Sweep/seq", Fn: Sweep(1)},
+			{Name: "Sweep/par", Fn: Sweep(0), NoAllocGate: true},
+		}},
+		{Name: "dynamic", Benches: []Bench{
+			{Name: "DynamicApply/incremental", Fn: DynamicApply(true)},
+			{Name: "DynamicApply/full", Fn: DynamicApply(false)},
+		}},
+	}
+}
+
+// Measure runs one workload under testing.Benchmark and converts the result
+// to the shared Entry schema.
+func Measure(b Bench) Entry {
+	r := testing.Benchmark(b.Fn)
+	e := Entry{
+		Name:        b.Name,
+		AllocsPerOp: r.AllocsPerOp(),
+		NoAllocGate: b.NoAllocGate,
+	}
+	if r.N > 0 {
+		e.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	e.TrianglesPerSec = r.Extra["triangles/sec"]
+	e.CellsPerSec = r.Extra["cells/sec"]
+	e.EdgesPerSec = r.Extra["edges/sec"]
+	e.RoundsPerSec = r.Extra["rounds/sec"]
+	e.WordsPerSec = r.Extra["words/sec"]
+	return e
+}
+
+// --- Engine-level workloads --------------------------------------------
+
+// floodNode broadcasts one word to every neighbor every round: the
+// all-active regime, where the activity scheduler must not lose to the
+// dense scan.
+type floodNode struct{}
+
+func (floodNode) Init(ctx *sim.Context) {}
+
+func (floodNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
+	ctx.Broadcast(sim.Word(ctx.ID()))
+}
+
+// sparseNode is the phased low-activity regime the paper's algorithms live
+// in at scale: in any given round most nodes are asleep on a wake timer
+// (or idle waiting for deliveries that rarely come) while a handful of
+// beacons do the talking. Beacons broadcast at each period-round phase
+// boundary and sleep to the next one; everyone else sleeps indefinitely
+// and is woken only by a beacon's delivery. Per period that is one send
+// round and one delivery round touching O(beacons·deg) nodes, then
+// period-2 globally idle rounds that the activity scheduler fast-forwards
+// — while the dense stepper scans all n contexts every round.
+type sparseNode struct {
+	period int
+	beacon bool
+}
+
+func (s sparseNode) Init(ctx *sim.Context) {
+	if !s.beacon {
+		ctx.SleepUntil(math.MaxInt32)
+	}
+}
+
+func (s sparseNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
+	if !s.beacon {
+		// Woken by a delivery; consume it and go back to waiting.
+		ctx.SleepUntil(math.MaxInt32)
+		return
+	}
+	if round%s.period == 0 {
+		ctx.Broadcast(sim.Word(ctx.ID()))
+	}
+	ctx.SleepUntil(round - round%s.period + s.period)
+}
+
+// engineStep measures steady-state engine rounds: one benchmark op is
+// exactly one round, so allocs/op is allocs/round.
+func engineStep(b *testing.B, g *graph.Graph, mk func(id int) sim.Node, cfg sim.Config) {
+	b.Helper()
+	nodes := make([]sim.Node, g.N())
+	for v := range nodes {
+		nodes[v] = mk(v)
+	}
+	eng, err := sim.NewEngine(g, nodes, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Run(4) // init nodes and reach steady state before measuring
+	start := eng.Metrics().WordsDelivered
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run(b.N)
+	b.StopTimer()
+	words := eng.Metrics().WordsDelivered - start
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rounds/sec")
+	b.ReportMetric(float64(words)/b.Elapsed().Seconds(), "words/sec")
+}
+
+// EngineGnpGraph is the uniform-degree engine workload graph.
+func EngineGnpGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(42))
+	return graph.Gnp(512, 0.05, rng)
+}
+
+// EnginePowerLawGraph is the skewed-degree engine workload graph (the
+// social-network regime from the paper's intro).
+func EnginePowerLawGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(43))
+	return graph.BarabasiAlbert(512, 8, rng)
+}
+
+// EngineStepGnp floods a G(512, 0.05) graph every round.
+func EngineStepGnp(parallel bool) func(*testing.B) {
+	return func(b *testing.B) {
+		engineStep(b, EngineGnpGraph(), func(int) sim.Node { return floodNode{} },
+			sim.Config{Seed: 1, Parallel: parallel})
+	}
+}
+
+// EngineStepPowerLaw floods a Barabasi-Albert graph every round.
+func EngineStepPowerLaw(parallel bool) func(*testing.B) {
+	return func(b *testing.B) {
+		engineStep(b, EnginePowerLawGraph(), func(int) sim.Node { return floodNode{} },
+			sim.Config{Seed: 1, Parallel: parallel})
+	}
+}
+
+// sparseN, sparseBeacons and sparsePeriod size the sparse-activity
+// workload: n large enough that an O(n) per-round scan dominates, with
+// only sparseBeacons of the n nodes active each phase.
+const (
+	sparseN       = 4096
+	sparseBeacons = 32
+	sparsePeriod  = 16
+)
+
+// EngineStepSparse runs the phased low-activity workload under the given
+// scheduler. The dense/activity pair isolates the activity-scheduler
+// speedup — the `speedup_sparse_activity_vs_dense` derived ratio that the
+// regression gate holds at >= 2.
+func EngineStepSparse(sched sim.Scheduler) func(*testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(44))
+		g := graph.Gnp(sparseN, 8.0/float64(sparseN-1), rng)
+		engineStep(b, g, func(id int) sim.Node {
+			return sparseNode{period: sparsePeriod, beacon: id < sparseBeacons}
+		}, sim.Config{Seed: 1, Scheduler: sched})
+	}
+}
+
+// --- Oracle workloads ---------------------------------------------------
+
+// OracleGraph is the oracle workload: G(2048, 0.1) (~210k edges, ~1.4M
+// triangles), large enough that worker sharding dominates setup.
+func OracleGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(17))
+	return graph.Gnp(2048, 0.1, rng)
+}
+
+// OracleList measures OracleScratch.ListTriangles on the oracle workload
+// graph with the given worker count (0 = GOMAXPROCS, 1 = sequential).
+func OracleList(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		g := OracleGraph()
+		s := &graph.OracleScratch{Workers: workers}
+		tris := len(s.ListTriangles(g)) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(s.ListTriangles(g)) != tris {
+				b.Fatal("triangle count drifted")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(tris)*float64(b.N)/b.Elapsed().Seconds(), "triangles/sec")
+	}
+}
+
+// OracleCount measures the streaming CountTriangles path (0 allocs/op on a
+// warmed scratch).
+func OracleCount(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		g := OracleGraph()
+		s := &graph.OracleScratch{Workers: workers}
+		tris := s.CountTriangles(g) // warm the scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s.CountTriangles(g) != tris {
+				b.Fatal("triangle count drifted")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(tris)*float64(b.N)/b.Elapsed().Seconds(), "triangles/sec")
+	}
+}
+
+// --- Sweep workload -----------------------------------------------------
+
+// Sweep runs the e9 baseline sweep (the cheapest full experiment that still
+// exercises graph generation, the engine and oracle verification per cell)
+// with the given sweep-cell worker count.
+func Sweep(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		e, err := expt.ByID("e9")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := expt.Config{Quick: true, Seed: 1, Workers: workers}
+		cells := len(cfg.Sizes)
+		if cells == 0 {
+			cells = 4 // Quick default sizes
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/sec")
+	}
+}
+
+// --- Dynamic-graph workload ---------------------------------------------
+
+// dynamicBatch is the churn batch size: 1% of the workload graph's edges —
+// the small-batch regime where delta maintenance must beat the recompute by
+// a wide margin.
+func dynamicBatch(g *graph.Graph) int { return g.M() / 100 }
+
+// DynamicApply measures per-batch churn cost on the oracle workload graph:
+// incremental delta maintenance vs a full static recompute per batch.
+func DynamicApply(incremental bool) func(*testing.B) {
+	return func(b *testing.B) {
+		g := OracleGraph()
+		rng := rand.New(rand.NewSource(23))
+		d := dynamic.FromGraph(g)
+		w := dynamic.NewRandomFlip(dynamicBatch(g))
+		scratch := graph.NewOracleScratch()
+		var o *dynamic.IncrementalOracle
+		if incremental {
+			o = dynamic.NewIncrementalOracle(d)
+		} else {
+			scratch.CountTriangles(g) // warm the recompute scratch
+		}
+		edges := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := w.Next(d, rng)
+			edges += len(batch.Insert) + len(batch.Delete)
+			if incremental {
+				if _, err := o.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if err := d.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+				snap, _ := d.Snapshot()
+				scratch.CountTriangles(snap)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/sec")
+	}
+}

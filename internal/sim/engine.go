@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -28,6 +29,24 @@ const (
 	ModeBroadcast
 )
 
+// Scheduler selects how the engine decides which nodes run each round.
+type Scheduler int
+
+const (
+	// SchedulerActivity (the default) drives rounds from activity alone: a
+	// ready set of nodes with pending deliveries plus a wake-wheel bucketed
+	// on SleepUntil targets, so scheduling costs O(active) per round instead
+	// of O(n), and idle stretches — every channel drained, the earliest wake
+	// k>1 rounds away — are fast-forwarded (see DESIGN.md, "activity-driven
+	// scheduler"). Observable behavior (outputs, metrics, Round(), hook
+	// stream, cancellation prefixes) is bit-identical to SchedulerDense.
+	SchedulerActivity Scheduler = iota
+	// SchedulerDense is the retained reference stepper: it scans all n nodes
+	// every round and never fast-forwards. It exists for differential
+	// testing of SchedulerActivity and costs O(n) per round.
+	SchedulerDense
+)
+
 // Config controls an engine run.
 type Config struct {
 	// Mode selects CONGEST (default) or CONGEST clique.
@@ -39,12 +58,21 @@ type Config struct {
 	// Parallel shards the delivery phase by receiver and runs node state
 	// machines on all CPUs. Results are bit-identical to the sequential
 	// engine for the same seed (see DESIGN.md, "determinism contract").
+	// Rounds whose active set is smaller than parallelMinItems — and any
+	// round on a single-CPU runtime — take the sequential path regardless.
 	Parallel bool
 	// MaxRounds aborts RunUntilQuiescent (default 1 << 22).
 	MaxRounds int
+	// Scheduler selects the round scheduler; the zero value is
+	// SchedulerActivity, the production path.
+	Scheduler Scheduler
 }
 
-func (c Config) withDefaults() Config {
+// Normalized returns the config with every default applied — the exact
+// resolution NewEngine performs, exported so callers that key pools or
+// caches on config fields (e.g. core's engine cache) share one source of
+// truth for the defaults.
+func (c Config) Normalized() Config {
 	if c.Mode == 0 {
 		c.Mode = ModeCONGEST
 	}
@@ -56,6 +84,8 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+func (c Config) withDefaults() Config { return c.Normalized() }
 
 // ErrMaxRounds is returned when a run exceeds Config.MaxRounds without
 // quiescing.
@@ -174,7 +204,30 @@ type Engine struct {
 	hooks     Hooks
 	round     int
 	started   bool
+
+	// Activity-scheduler state. notDone counts nodes with ctx.done unset
+	// (maintained on the sequential spine against doneMark, never from node
+	// workers) so quiescent() is O(1); wheel buckets sleeping nodes by wake
+	// round; nextWake[v] is the authoritative wake round of node v (-1 when
+	// done), used to skip lazily invalidated wheel entries; schedStamp/
+	// schedGen dedupe the per-round scheduled list.
+	notDone    int
+	doneMark   []bool
+	nextWake   []int
+	schedGen   uint64
+	schedStamp []uint64
+	wheel      wakeWheel
+	// nextReady is the wheel's fast path for the overwhelmingly common wake
+	// target "the very next round" (nodes that never sleep): appended in
+	// merge order — ascending — and consumed wholesale by the next step, it
+	// keeps busy nodes out of the map-and-heap wheel entirely.
+	nextReady []int32
 }
+
+// parallelMinItems is the sequential-fallback threshold: below this many
+// items, the goroutine fan-out of parallelFor costs more than it saves and
+// the engine takes the sequential path even when Config.Parallel is set.
+const parallelMinItems = 32
 
 // deliveryShard accumulates one worker's delivery-phase counters; padded to
 // a full 64-byte cache line so workers do not false-share.
@@ -250,6 +303,13 @@ func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
 		}
 	}
 	e.inboxes = make([][]Delivery, n)
+	e.notDone = n
+	e.doneMark = make([]bool, n)
+	e.nextWake = make([]int, n)
+	for v := range e.nextWake {
+		e.nextWake[v] = -1 // no wheel entry yet; initNodes seeds them
+	}
+	e.schedStamp = make([]uint64, n)
 	e.metrics = Metrics{
 		WordBits:         WordBits(n),
 		PerNodeWordsRecv: make([]int64, n),
@@ -277,6 +337,51 @@ func (e *Engine) initNodes() {
 		nd.Init(e.ctxs[v])
 		e.flushPending(v)
 		e.emitOutputs(v)
+		e.trackNode(v, 0)
+	}
+}
+
+// trackNode updates the scheduling state after node v's Init or Round ran,
+// always on the sequential spine (init loop or merge phase — never from a
+// node worker, so the done counter and the wheel need no synchronization):
+// it folds ctx.done transitions into the notDone counter and, under the
+// activity scheduler, refreshes v's wake-wheel entry. floor is the earliest
+// round v could run next: 0 at init, round+1 from the merge phase. A node
+// whose recorded nextWake already matches keeps its existing wheel entry;
+// otherwise the new entry supersedes it and the old one is skipped on pop.
+func (e *Engine) trackNode(v, floor int) {
+	ctx := e.ctxs[v]
+	if ctx.done != e.doneMark[v] {
+		e.doneMark[v] = ctx.done
+		if ctx.done {
+			e.notDone--
+		} else {
+			e.notDone++
+		}
+	}
+	if e.cfg.Scheduler == SchedulerDense {
+		return
+	}
+	if ctx.done {
+		e.nextWake[v] = -1
+		return
+	}
+	w := ctx.wake
+	if w < floor {
+		w = floor
+	}
+	if w == floor {
+		// Due at the very next step: bypass the wheel. Entries here cannot
+		// be invalidated (the node cannot run again before its due round),
+		// so consumption needs no nextWake check; updating nextWake anyway
+		// keeps it authoritative for any older wheel entries.
+		e.nextWake[v] = w
+		e.nextReady = append(e.nextReady, int32(v))
+		return
+	}
+	if e.nextWake[v] != w {
+		e.nextWake[v] = w
+		e.wheel.push(w, int32(v))
 	}
 }
 
@@ -358,10 +463,30 @@ func (e *Engine) deliverTo(v int32, shard *deliveryShard) {
 // step executes one round: deliver up to B words on each active channel
 // (receiver-major, sharded across workers when Parallel), then run every
 // scheduled node, then flush sends in node order.
+//
+// Under SchedulerActivity the scheduled set is assembled from activity
+// alone: every receiver in this round's delivery sets (which all get at
+// least one word — an active channel always has a non-empty queue) plus the
+// wake-wheel bucket for this round, deduplicated by schedStamp and sorted
+// ascending so the merge phase visits nodes in the same deterministic order
+// as the dense scan.
 func (e *Engine) step() {
-	n := len(e.nodes)
 	b := e.cfg.BandwidthWords
 	msgs0, words0 := e.metrics.MessagesDelivered, e.metrics.WordsDelivered
+	activity := e.cfg.Scheduler != SchedulerDense
+	usePar := e.cfg.Parallel && runtime.GOMAXPROCS(0) > 1
+	scheduled := e.scheduled[:0]
+	if activity {
+		e.schedGen++
+		// Ready snapshot: every receiver with an active in-edge gets a
+		// delivery this round. Taken before deliverTo compacts the list.
+		for _, v := range e.activeRecv {
+			if e.schedStamp[v] != e.schedGen {
+				e.schedStamp[v] = e.schedGen
+				scheduled = append(scheduled, v)
+			}
+		}
+	}
 	// Phase 1: deliveries.
 	moved := false
 	// Broadcast-mode: each active node emits one B-word message heard by
@@ -377,6 +502,10 @@ func (e *Engine) step() {
 				e.metrics.MessagesDelivered++
 				e.metrics.WordsDelivered += int64(len(ws))
 				e.metrics.PerNodeWordsRecv[to] += int64(len(ws))
+				if activity && e.schedStamp[to] != e.schedGen {
+					e.schedStamp[to] = e.schedGen
+					scheduled = append(scheduled, to)
+				}
 			}
 			moved = true
 		}
@@ -391,7 +520,7 @@ func (e *Engine) step() {
 	// every mutation in deliverTo is single-writer; the deterministic part —
 	// which receiver gets which deliveries in which order — is fixed by
 	// recvActive's activation order, not by worker interleaving.
-	if e.cfg.Parallel && len(e.activeRecv) > 1 {
+	if usePar && len(e.activeRecv) >= parallelMinItems {
 		workers := runtime.GOMAXPROCS(0)
 		if workers > len(e.activeRecv) {
 			workers = len(e.activeRecv)
@@ -433,22 +562,51 @@ func (e *Engine) step() {
 	if moved {
 		e.metrics.ActiveRounds++
 	}
-	// Phase 2: run scheduled nodes.
-	scheduled := e.scheduled[:0]
-	for v := 0; v < n; v++ {
-		ctx := e.ctxs[v]
-		if ctx.done && len(e.inboxes[v]) == 0 {
-			continue
+	// Phase 2: schedule and run nodes.
+	if activity {
+		// Fast-path wake-ups: every nextReady entry is due exactly this
+		// round and cannot have been superseded (its node could not run
+		// since it was recorded).
+		for _, v := range e.nextReady {
+			if e.schedStamp[v] != e.schedGen {
+				e.schedStamp[v] = e.schedGen
+				scheduled = append(scheduled, v)
+			}
 		}
-		if len(e.inboxes[v]) > 0 || ctx.wake <= e.round {
-			scheduled = append(scheduled, int32(v))
+		e.nextReady = e.nextReady[:0]
+		// Wake-wheel pops: nodes whose authoritative wake is due. Entries
+		// whose bucket round no longer matches nextWake were superseded by a
+		// later reschedule (or the node finished) and are skipped.
+		for {
+			br, bucket, ok := e.wheel.takeUpTo(e.round)
+			if !ok {
+				break
+			}
+			for _, v := range bucket {
+				if e.nextWake[v] == br && e.schedStamp[v] != e.schedGen {
+					e.schedStamp[v] = e.schedGen
+					scheduled = append(scheduled, v)
+				}
+			}
+			e.wheel.release(bucket)
+		}
+		slices.Sort(scheduled)
+	} else {
+		for v := 0; v < len(e.nodes); v++ {
+			ctx := e.ctxs[v]
+			if ctx.done && len(e.inboxes[v]) == 0 {
+				continue
+			}
+			if len(e.inboxes[v]) > 0 || ctx.wake <= e.round {
+				scheduled = append(scheduled, int32(v))
+			}
 		}
 	}
 	e.scheduled = scheduled
 	run := func(_ int, v int32) {
 		e.nodes[v].Round(e.ctxs[v], e.round, e.inboxes[v])
 	}
-	if e.cfg.Parallel && len(scheduled) > 1 {
+	if usePar && len(scheduled) >= parallelMinItems {
 		parallelFor(scheduled, run)
 	} else {
 		for _, v := range scheduled {
@@ -460,6 +618,7 @@ func (e *Engine) step() {
 		e.flushPending(int(v))
 		e.emitOutputs(int(v))
 		e.inboxes[v] = e.inboxes[v][:0]
+		e.trackNode(int(v), e.round+1)
 	}
 	e.round++
 	e.metrics.Rounds = e.round
@@ -613,17 +772,87 @@ func (e *Engine) clearRun(nodes []Node, seed int64) {
 	e.metrics.ActiveRounds = 0
 	e.metrics.MessagesDelivered = 0
 	e.metrics.WordsDelivered = 0
+	e.metrics.FastForwardedRounds = 0
 	clear(e.metrics.PerNodeWordsRecv)
 	clear(e.metrics.PerNodeWordsSent)
 	e.round = 0
 	e.started = false
+	// Scheduling state: all contexts were just marked not-done above, and
+	// the wheel restarts empty; initNodes re-seeds every node's entry (the
+	// -1 sentinel guarantees the seeding push fires even when the new wake
+	// equals the previous run's).
+	e.notDone = len(e.nodes)
+	clear(e.doneMark)
+	for v := range e.nextWake {
+		e.nextWake[v] = -1
+	}
+	e.nextReady = e.nextReady[:0]
+	e.wheel.reset()
+}
+
+// nextEventRound returns the earliest round at which anything can happen:
+// the current round when any channel still has queued words, otherwise the
+// earliest wake-wheel round, otherwise maxInt (nothing will ever happen
+// again). Activity scheduler only — stale wheel entries make the result a
+// lower bound, which is the safe direction.
+func (e *Engine) nextEventRound() int {
+	// nextReady nodes are due at the next step — the round counter has
+	// already advanced past the merge that recorded them.
+	if len(e.nextReady) > 0 || len(e.activeRecv) > 0 || len(e.bcastActive) > 0 {
+		return e.round
+	}
+	if r, ok := e.wheel.min(); ok {
+		if r < e.round {
+			return e.round
+		}
+		return r
+	}
+	return maxInt
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+// advance performs one unit of progress toward limit (an exclusive round
+// bound): a full step when anything is due at the current round, otherwise
+// an idle fast-forward. Idle rounds are observably identical to dense
+// steps: when a Round hook is installed they are emitted one at a time as
+// zero-delta calls (so hook streams — and cancellation points, which
+// callers poll between advance calls — match the dense stepper exactly);
+// when nobody listens the round counter jumps to the next event in O(1).
+// Either way Metrics.Rounds, Round() and ActiveRounds evolve exactly as if
+// every idle round had been stepped, and the skipped work is recorded in
+// Metrics.FastForwardedRounds.
+func (e *Engine) advance(limit int) {
+	if e.cfg.Scheduler == SchedulerDense {
+		e.step()
+		return
+	}
+	next := e.nextEventRound()
+	if next <= e.round {
+		e.step()
+		return
+	}
+	if next > limit {
+		next = limit
+	}
+	if e.hooks.Round != nil {
+		e.hooks.Round(e.round, RoundDelta{})
+		e.round++
+		e.metrics.Rounds = e.round
+		e.metrics.FastForwardedRounds++
+		return
+	}
+	e.metrics.FastForwardedRounds += next - e.round
+	e.round = next
+	e.metrics.Rounds = e.round
 }
 
 // Run executes exactly `rounds` rounds (after Init on first call).
 func (e *Engine) Run(rounds int) {
 	e.initNodes()
-	for i := 0; i < rounds; i++ {
-		e.step()
+	limit := e.round + rounds
+	for e.round < limit {
+		e.advance(limit)
 	}
 }
 
@@ -639,13 +868,14 @@ func (e *Engine) RunContext(ctx context.Context, rounds int) error {
 		return nil
 	}
 	e.initNodes()
-	for i := 0; i < rounds; i++ {
+	limit := e.round + rounds
+	for e.round < limit {
 		select {
 		case <-done:
 			return ctx.Err()
 		default:
 		}
-		e.step()
+		e.advance(limit)
 	}
 	return nil
 }
@@ -675,20 +905,27 @@ func (e *Engine) RunUntilQuiescentContext(ctx context.Context) error {
 			default:
 			}
 		}
-		e.step()
+		e.advance(e.cfg.MaxRounds)
 	}
 }
 
+// quiescent reports that every node is done and all channels are drained.
+// The activity scheduler answers from the maintained notDone counter in
+// O(1); the dense reference keeps the original O(n) context scan so the two
+// cross-check each other in the differential tests.
 func (e *Engine) quiescent() bool {
 	if len(e.activeRecv) > 0 || len(e.bcastActive) > 0 {
 		return false
 	}
-	for _, ctx := range e.ctxs {
-		if !ctx.done {
-			return false
+	if e.cfg.Scheduler == SchedulerDense {
+		for _, ctx := range e.ctxs {
+			if !ctx.done {
+				return false
+			}
 		}
+		return true
 	}
-	return true
+	return e.notDone == 0
 }
 
 // PendingWords reports the words still queued on all channels (0 once all

@@ -233,6 +233,13 @@ type Metrics struct {
 	WordBits          int     // bits per word (ceil log2 n)
 	PerNodeWordsRecv  []int64 // indexed by node id
 	PerNodeWordsSent  []int64
+
+	// FastForwardedRounds counts the idle rounds the activity scheduler
+	// advanced through its fast path (batched jumps or zero-delta hook
+	// emissions) instead of stepping. It is scheduler provenance, not model
+	// behavior: Rounds already includes these rounds, every other metric is
+	// unaffected by them, and the dense reference stepper always reports 0.
+	FastForwardedRounds int
 }
 
 // TotalBits returns the total bits moved during the run.

@@ -1,0 +1,111 @@
+package sim
+
+// wakeWheel indexes sleeping nodes by the absolute round they asked to wake
+// at: one bucket per distinct wake round plus a min-heap of the rounds that
+// currently have a bucket, so the scheduler pops exactly the nodes due this
+// round in O(due + log distinct-rounds) and reads the earliest wake — the
+// fast-forward target — in O(1).
+//
+// Entries are lazily invalidated: a node rescheduled before its bucket round
+// arrives (an early delivery woke it, or it finished) simply gets a new
+// bucket entry, and the stale one is skipped on pop by checking the
+// engine-side nextWake value against the bucket's round. Bucket slices are
+// recycled through a free list, so a warmed wheel allocates nothing.
+type wakeWheel struct {
+	buckets map[int][]int32
+	heap    []int     // min-heap of rounds that have a bucket
+	free    [][]int32 // drained bucket slices, kept for reuse
+}
+
+// push inserts node v into the bucket for round r.
+func (w *wakeWheel) push(r int, v int32) {
+	if w.buckets == nil {
+		w.buckets = make(map[int][]int32)
+	}
+	b, ok := w.buckets[r]
+	if !ok {
+		if n := len(w.free); n > 0 {
+			b = w.free[n-1][:0]
+			w.free[n-1] = nil
+			w.free = w.free[:n-1]
+		}
+		w.heapPush(r)
+	}
+	w.buckets[r] = append(b, v)
+}
+
+// min returns the earliest round with a bucket. Stale entries make this a
+// lower bound on the next genuine wake, which is the safe direction for
+// fast-forwarding.
+func (w *wakeWheel) min() (int, bool) {
+	if len(w.heap) == 0 {
+		return 0, false
+	}
+	return w.heap[0], true
+}
+
+// takeUpTo removes and returns the earliest bucket with round <= r, together
+// with its round. The caller must hand the slice back via release once it is
+// done filtering the entries.
+func (w *wakeWheel) takeUpTo(r int) (int, []int32, bool) {
+	if len(w.heap) == 0 || w.heap[0] > r {
+		return 0, nil, false
+	}
+	br := w.heapPop()
+	b := w.buckets[br]
+	delete(w.buckets, br)
+	return br, b, true
+}
+
+// release returns a drained bucket slice to the free list.
+func (w *wakeWheel) release(b []int32) {
+	if cap(b) > 0 {
+		w.free = append(w.free, b[:0])
+	}
+}
+
+// reset drops all buckets (recycling their slices) for a fresh run.
+func (w *wakeWheel) reset() {
+	for r, b := range w.buckets {
+		delete(w.buckets, r)
+		w.release(b)
+	}
+	w.heap = w.heap[:0]
+}
+
+func (w *wakeWheel) heapPush(r int) {
+	w.heap = append(w.heap, r)
+	i := len(w.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if w.heap[parent] <= w.heap[i] {
+			break
+		}
+		w.heap[parent], w.heap[i] = w.heap[i], w.heap[parent]
+		i = parent
+	}
+}
+
+func (w *wakeWheel) heapPop() int {
+	top := w.heap[0]
+	last := len(w.heap) - 1
+	w.heap[0] = w.heap[last]
+	w.heap = w.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && w.heap[l] < w.heap[small] {
+			small = l
+		}
+		if r < last && w.heap[r] < w.heap[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		w.heap[i], w.heap[small] = w.heap[small], w.heap[i]
+		i = small
+	}
+	return top
+}
