@@ -13,9 +13,17 @@
 // the hard signals are allocs/op (tight band; parallel fan-outs exempt)
 // and the derived same-run speedup ratios (hard floors — e.g. the sparse
 // activity-scheduler speedup must stay >= 2x); wall-time is only held
-// within a generous factor (-time-tol). Re-baseline with
+// within a generous factor (-time-tol). Baseline files carry one run per
+// GOMAXPROCS setting; the gate compares against the run matching this
+// one's. The floors themselves depend on effective parallelism
+// (min(GOMAXPROCS, cores)): at >= 4 the multicore speedup floors arm —
+// parallel EngineStep and CountTriangles must beat sequential by >= 2x —
+// and CI passes -require-procs 4 so that gate cannot silently run
+// single-core and disarm them. Re-baseline the current proc count with
 //
 //	UPDATE_BENCH=1 go run ./cmd/bench    # or: go run ./cmd/bench -update
+//
+// Profile a run with -cpuprofile/-memprofile and inspect with go tool pprof.
 package main
 
 import (
@@ -23,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"testing"
@@ -47,11 +57,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		allocTol   = fs.Float64("alloc-tol", 0, "allocs/op tolerance factor (0 = package default)")
 		allocSlack = fs.Int64("alloc-slack", -1, "allocs/op absolute slack (-1 = package default)")
 		floors     = fs.Bool("floors", true, "enforce hard floors on derived speedup ratios")
+		reqProcs   = fs.Int("require-procs", 0, "fail unless at least this many effective procs (min of GOMAXPROCS and cores) are available — CI's guard against multicore floors silently disarming")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the benchmark run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	tol := perf.DefaultTolerance()
+	procs := perf.EffectiveProcs()
+	if *reqProcs > 0 && procs < *reqProcs {
+		fmt.Fprintf(stderr, "bench: -require-procs %d, but only %d effective (GOMAXPROCS=%d, %d cores)\n",
+			*reqProcs, procs, runtime.GOMAXPROCS(0), runtime.NumCPU())
+		return 2
+	}
+	tol := perf.DefaultToleranceFor(procs)
 	if *timeTol > 0 {
 		tol.TimeFactor = *timeTol
 	}
@@ -108,7 +127,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	fresh := perf.NewReport()
+	fmt.Fprintf(stdout, "gomaxprocs=%d cores=%d effective=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU(), procs)
 	for _, s := range suites {
 		for _, b := range s.Benches {
 			e := perf.Measure(b)
@@ -125,32 +159,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fresh.ComputeDerived()
 	printDerived(stdout, fresh)
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 2
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "bench: %v\n", err)
+			return 2
+		}
+	}
+
 	if *update || os.Getenv("UPDATE_BENCH") != "" {
-		merged := fresh
+		var merged perf.File
 		if prev, err := perf.ReadFile(*baseline); err == nil {
-			prev.Merge(fresh)
 			merged = prev
 		}
+		merged.MergeRun(fresh)
 		if err := perf.WriteFile(*baseline, merged); err != nil {
 			fmt.Fprintf(stderr, "bench: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "re-baselined %s (%d entries)\n", *baseline, len(merged.Entries))
+		fmt.Fprintf(stdout, "re-baselined %s (gomaxprocs=%d run, %d runs total)\n", *baseline, fresh.GOMAXPROCS, len(merged.Runs))
 		return 0
 	}
 
-	base, err := perf.ReadFile(*baseline)
+	baseFile, err := perf.ReadFile(*baseline)
 	if err != nil {
 		fmt.Fprintf(stderr, "bench: cannot load baseline: %v\nrun UPDATE_BENCH=1 go run ./cmd/bench to create it\n", err)
 		return 2
 	}
-	if base.GOMAXPROCS != fresh.GOMAXPROCS || base.GoVersion != fresh.GoVersion {
-		fmt.Fprintf(stdout, "note: baseline from %s GOMAXPROCS=%d, this run %s GOMAXPROCS=%d (wall-time compared at %.1fx tolerance)\n",
+	base, exact := baseFile.RunFor(fresh.GOMAXPROCS)
+	if base == nil {
+		fmt.Fprintf(stderr, "bench: baseline %s has no runs\nrun UPDATE_BENCH=1 go run ./cmd/bench to create one\n", *baseline)
+		return 2
+	}
+	if !exact || base.GoVersion != fresh.GoVersion {
+		fmt.Fprintf(stdout, "note: baseline run from %s GOMAXPROCS=%d, this run %s GOMAXPROCS=%d (wall-time compared at %.1fx tolerance)\n",
 			base.GoVersion, base.GOMAXPROCS, fresh.GoVersion, fresh.GOMAXPROCS, tol.TimeFactor)
 	}
-	regs := perf.Compare(base, fresh, tol)
+	regs := perf.Compare(*base, fresh, tol)
 	if len(regs) == 0 {
-		fmt.Fprintf(stdout, "regression gate: PASS (%d entries vs %s)\n", len(fresh.Entries), *baseline)
+		fmt.Fprintf(stdout, "regression gate: PASS (%d entries vs %s, gomaxprocs=%d run)\n", len(fresh.Entries), *baseline, base.GOMAXPROCS)
 		return 0
 	}
 	fmt.Fprintf(stderr, "regression gate: FAIL (%d violations vs %s)\n", len(regs), *baseline)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -56,12 +58,19 @@ func TestGateLifecycle(t *testing.T) {
 	if !strings.Contains(out, "re-baselined") {
 		t.Fatalf("update output: %s", out)
 	}
-	rep, err := perf.ReadFile(base)
+	file, err := perf.ReadFile(base)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(file.Runs) != 1 {
+		t.Fatalf("baseline runs = %d, want 1", len(file.Runs))
+	}
+	rep := file.Runs[0]
 	if _, ok := rep.Entry("EngineStepSparse/activity"); !ok {
 		t.Fatalf("baseline missing sparse entry: %+v", rep.Entries)
+	}
+	if rep.NumCPU == 0 {
+		t.Fatalf("baseline run missing num_cpu provenance: %+v", rep)
 	}
 
 	// Same machine, immediate re-run: the gate must pass. Floors stay on:
@@ -79,14 +88,78 @@ func TestGateLifecycle(t *testing.T) {
 
 	// Tamper the baseline so every wall-time bound is violated even at the
 	// wide-open tolerance (limit becomes ~1ns).
-	for i := range rep.Entries {
-		rep.Entries[i].NsPerOp = 1e-6
+	for i := range file.Runs[0].Entries {
+		file.Runs[0].Entries[i].NsPerOp = 1e-6
 	}
-	if err := perf.WriteFile(base, rep); err != nil {
+	if err := perf.WriteFile(base, file); err != nil {
 		t.Fatal(err)
 	}
 	code, _, errb = runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-time-tol", "1e6")
 	if code != 1 || !strings.Contains(errb, "regression gate: FAIL") {
 		t.Fatalf("tampered gate: exit %d, stderr %q", code, errb)
+	}
+}
+
+// TestLegacyBaselineStillGates checks the single-run fallback end to end: a
+// baseline in the pre-multi-run format (bare Report) still loads and gates.
+func TestLegacyBaselineStillGates(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_legacy.json")
+	code, _, errb := runBench(t, "-baseline", base, "-suite", "dynamic", "-benchtime", "1x", "-update")
+	if code != 0 {
+		t.Fatalf("update: exit %d\nstderr: %s", code, errb)
+	}
+	file, err := perf.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite as a legacy bare-Report file.
+	legacy, err := json.MarshalIndent(file.Runs[0], "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runBench(t, "-baseline", base, "-suite", "dynamic", "-benchtime", "1x", "-time-tol", "1e6", "-floors=false")
+	if code != 0 || !strings.Contains(out, "regression gate: PASS") {
+		t.Fatalf("legacy gate: exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+}
+
+// TestRequireProcs checks the CI guard: asking for more effective procs
+// than the machine has must fail fast, before any benchmark runs.
+func TestRequireProcs(t *testing.T) {
+	code, _, errb := runBench(t, "-require-procs", "100000")
+	if code != 2 || !strings.Contains(errb, "-require-procs") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	// A satisfiable requirement proceeds past the guard (and then fails on
+	// the unknown suite, proving the guard did not exit).
+	code, _, errb = runBench(t, "-require-procs", "1", "-suite", "nope")
+	if code != 2 || !strings.Contains(errb, "unknown suite") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+// TestProfileFlags checks -cpuprofile/-memprofile produce non-empty pprof
+// files alongside a normal run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_prof.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errb := runBench(t, "-baseline", base, "-suite", "dynamic", "-benchtime", "1x", "-update",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }

@@ -37,6 +37,7 @@ type engineKey struct {
 	mode      sim.Mode
 	bandwidth int
 	parallel  bool
+	workers   int
 	scheduler sim.Scheduler
 }
 
@@ -57,7 +58,7 @@ func NewEngineCache() *EngineCache {
 func keyFor(n int, cfg sim.Config) engineKey {
 	cfg = cfg.Normalized()
 	return engineKey{n: n, mode: cfg.Mode, bandwidth: cfg.BandwidthWords,
-		parallel: cfg.Parallel, scheduler: cfg.Scheduler}
+		parallel: cfg.Parallel, workers: cfg.Workers, scheduler: cfg.Scheduler}
 }
 
 func (c *EngineCache) getNodes(n int) []sim.Node {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"cmp"
+	"math/bits"
 	"runtime"
 	"slices"
 	"sync"
@@ -46,11 +47,21 @@ type OracleScratch struct {
 
 	chunkEnds []int32      // chunk c covers source positions [chunkEnds[c-1], chunkEnds[c])
 	bufs      [][]Triangle // per-chunk listing output
-	counts    []int64      // per-chunk streaming counts
 
-	bitmaps [][]uint64 // per-worker rank-space bitmaps (zero between uses)
-	wbufs   [][]int32  // per-worker intersection result buffers
-	spawn   []func()   // pre-built per-worker thunks: go spawn[w]() allocates nothing
+	// Packed heavy rows: the forward row of every heavy vertex (forward
+	// degree >= bitmapMinDeg) as a rank-space bitmap, laid out row-major in
+	// one slab. Heavy×heavy pairs intersect word-parallel (AND + popcount),
+	// and heavy×light probes read the precomputed row instead of rebuilding
+	// a scratch bitmap per source — the build/clear churn that made the
+	// parallel sweep lose to sequential on cache traffic.
+	rowWords  int      // uint64 words per packed row ((n+63)/64)
+	heavyIdx  []int32  // vertex -> row index into heavyRows, -1 when light
+	heavyRows []uint64 // row-major slab of rowWords-word rows, zeroed before fill
+
+	bitmaps [][]uint64    // per-worker rank-space bitmaps (zero between uses)
+	wbufs   [][]int32     // per-worker intersection result buffers
+	wcounts []paddedCount // per-worker streaming counts, cache-line padded
+	spawn   []func()      // pre-built per-worker thunks: go spawn[w]() allocates nothing
 
 	out []Triangle // reused backing for ListTriangles results
 
@@ -79,15 +90,15 @@ func (s *OracleScratch) ListTriangles(g *Graph) []Triangle {
 	return out
 }
 
-// CountTriangles returns |T(G)| by streaming per-chunk counts; no []Triangle
-// is ever materialized, and repeated calls on a warmed scratch allocate
-// nothing.
+// CountTriangles returns |T(G)| by streaming padded per-worker counts; no
+// []Triangle is ever materialized, and repeated calls on a warmed scratch
+// allocate nothing.
 func (s *OracleScratch) CountTriangles(g *Graph) int {
 	s.prepare(g, false)
 	s.run()
 	total := int64(0)
-	for _, c := range s.counts[:len(s.chunkEnds)] {
-		total += c
+	for i := range s.wcounts {
+		total += s.wcounts[i].n
 	}
 	return int(total)
 }
@@ -108,15 +119,31 @@ func CountTriangles(g *Graph) int {
 }
 
 // Kernel selection thresholds. bitmapMinDeg is the forward degree at which a
-// source row switches to the packed-bitmap kernel (the O(len a) build+clear
-// amortizes over len(a) intersections). gallopRatio is the length skew at
-// which galloping binary search beats the linear merge.
+// source row switches to the packed-bitmap kernels (and at which prepare
+// packs the row into the heavy-row slab). gallopRatio is the length skew at
+// which galloping binary search beats the linear merge. mergeBlock is the
+// batch size of the blocked merge loop: comparing against the block's last
+// element both skips runs of non-matching elements branch-predictably and
+// touches the cache line one block ahead of the scalar cursor (a software
+// prefetch). heavyRowMaxWords caps the heavy-row slab (16 MiB of uint64) so
+// pathological graphs degrade to the per-worker scratch-bitmap path instead
+// of exploding memory.
 const (
-	bitmapMinDeg    = 128
-	gallopRatio     = 16
-	seqWorkCutoff   = 1 << 14
-	chunksPerWorker = 8
+	bitmapMinDeg     = 128
+	gallopRatio      = 16
+	seqWorkCutoff    = 1 << 14
+	chunksPerWorker  = 8
+	mergeBlock       = 8
+	heavyRowMaxWords = 1 << 21
 )
+
+// paddedCount is a per-worker counter padded to 128 bytes (two cache
+// lines, for the adjacent-line prefetcher) so workers streaming counts do
+// not false-share.
+type paddedCount struct {
+	n int64
+	_ [120]byte
+}
 
 func (s *OracleScratch) workers() int {
 	if s.Workers > 0 {
@@ -176,6 +203,40 @@ func (s *OracleScratch) prepare(g *Graph, listing bool) {
 			}
 		}
 	}
+	// Heavy-row slab: pack the forward row of every heavy vertex as a
+	// rank-space bitmap. Heavy sources probe their own packed row instead
+	// of building and clearing a scratch bitmap per row, and heavy×heavy
+	// pairs intersect word-parallel (AND + popcount). Slab memory is capped;
+	// vertices past the cap stay light and fall back to the scratch path.
+	words := (n + 63) / 64
+	s.rowWords = words
+	s.heavyIdx = resizeI32(s.heavyIdx, n)
+	rows := 0
+	for v := 0; v < n; v++ {
+		if int(foffs[v+1]-foffs[v]) >= bitmapMinDeg && (rows+1)*words <= heavyRowMaxWords {
+			s.heavyIdx[v] = int32(rows)
+			rows++
+		} else {
+			s.heavyIdx[v] = -1
+		}
+	}
+	need := rows * words
+	if cap(s.heavyRows) < need {
+		s.heavyRows = make([]uint64, need)
+	} else {
+		s.heavyRows = s.heavyRows[:need]
+		clear(s.heavyRows)
+	}
+	for v := 0; v < n; v++ {
+		idx := s.heavyIdx[v]
+		if idx < 0 {
+			continue
+		}
+		row := s.heavyRows[int(idx)*words : (int(idx)+1)*words]
+		for _, r := range s.ftgts[foffs[v]:foffs[v+1]] {
+			row[r>>6] |= 1 << (r & 63)
+		}
+	}
 	// Chunk plan: contiguous source ranges balanced by the quadratic work
 	// estimate la*(la+1) (la = forward degree). The output is invariant to
 	// the chunking; only load balance depends on it.
@@ -215,6 +276,9 @@ func (s *OracleScratch) prepare(g *Graph, listing bool) {
 // worker pool otherwise. Worker thunks are pre-built so spawning is
 // allocation-free.
 func (s *OracleScratch) run() {
+	for i := range s.wcounts {
+		s.wcounts[i].n = 0
+	}
 	nchunks := len(s.chunkEnds)
 	if nchunks == 0 {
 		return
@@ -222,13 +286,13 @@ func (s *OracleScratch) run() {
 	for len(s.bufs) < nchunks {
 		s.bufs = append(s.bufs, nil)
 	}
-	s.counts = resizeI64(s.counts, nchunks)
 	workers := min(s.workers(), nchunks)
 	for len(s.spawn) < workers {
 		w := len(s.spawn)
 		s.spawn = append(s.spawn, func() { s.runWorker(w) })
 		s.wbufs = append(s.wbufs, nil)
 		s.bitmaps = append(s.bitmaps, nil)
+		s.wcounts = append(s.wcounts, paddedCount{})
 	}
 	if workers == 1 {
 		for c := 0; c < nchunks; c++ {
@@ -269,10 +333,24 @@ func (s *OracleScratch) bitmap(w int) []uint64 {
 	return nb
 }
 
+// heavyRow returns vertex v's packed forward row, or nil when v is light
+// (or fell past the slab cap).
+func (s *OracleScratch) heavyRow(v int32) []uint64 {
+	idx := s.heavyIdx[v]
+	if idx < 0 {
+		return nil
+	}
+	return s.heavyRows[int(idx)*s.rowWords : (int(idx)+1)*s.rowWords]
+}
+
 // runChunk enumerates the triangles of one contiguous source range. Sources
 // are visited in rank order and each intersection emits ascending ranks, so
 // the chunk buffer is exactly the sequential algorithm's output restricted
-// to this range.
+// to this range. Kernel dispatch per source row u (never affects output,
+// fuzz-pinned): heavy u probes its precomputed packed row — word-parallel
+// AND+popcount against other heavy rows, per-element probes against light
+// ones; a heavy u past the slab cap rebuilds a per-worker scratch bitmap;
+// light u uses the adaptive merge/gallop kernels.
 func (s *OracleScratch) runChunk(c, w int) {
 	lo := int32(0)
 	if c > 0 {
@@ -290,19 +368,29 @@ func (s *OracleScratch) runChunk(c, w int) {
 				continue
 			}
 			if len(a) >= bitmapMinDeg {
-				bm := s.bitmap(w)
-				for _, rw := range a {
-					bm[rw>>6] |= 1 << (rw & 63)
+				bm := s.heavyRow(u)
+				scratch := bm == nil
+				if scratch {
+					bm = s.bitmap(w)
+					for _, rw := range a {
+						bm[rw>>6] |= 1 << (rw & 63)
+					}
 				}
 				for _, rv := range a {
 					v := order[rv]
-					wbuf = bitmapInto(bm, ftgts[foffs[v]:foffs[v+1]], wbuf[:0])
+					if rowV := s.heavyRow(v); rowV != nil {
+						wbuf = andInto(bm, rowV, wbuf[:0])
+					} else {
+						wbuf = bitmapInto(bm, ftgts[foffs[v]:foffs[v+1]], wbuf[:0])
+					}
 					for _, rw := range wbuf {
 						buf = append(buf, NewTriangle(int(u), int(v), int(order[rw])))
 					}
 				}
-				for _, rw := range a {
-					bm[rw>>6] = 0
+				if scratch {
+					for _, rw := range a {
+						bm[rw>>6] = 0
+					}
 				}
 				continue
 			}
@@ -326,16 +414,26 @@ func (s *OracleScratch) runChunk(c, w int) {
 			continue
 		}
 		if len(a) >= bitmapMinDeg {
-			bm := s.bitmap(w)
-			for _, rw := range a {
-				bm[rw>>6] |= 1 << (rw & 63)
+			bm := s.heavyRow(u)
+			scratch := bm == nil
+			if scratch {
+				bm = s.bitmap(w)
+				for _, rw := range a {
+					bm[rw>>6] |= 1 << (rw & 63)
+				}
 			}
 			for _, rv := range a {
 				v := order[rv]
-				count += int64(bitmapCount(bm, ftgts[foffs[v]:foffs[v+1]]))
+				if rowV := s.heavyRow(v); rowV != nil {
+					count += andCount(bm, rowV)
+				} else {
+					count += int64(bitmapCount(bm, ftgts[foffs[v]:foffs[v+1]]))
+				}
 			}
-			for _, rw := range a {
-				bm[rw>>6] = 0
+			if scratch {
+				for _, rw := range a {
+					bm[rw>>6] = 0
+				}
 			}
 			continue
 		}
@@ -344,7 +442,7 @@ func (s *OracleScratch) runChunk(c, w int) {
 			count += int64(adaptiveCount(a, ftgts[foffs[v]:foffs[v+1]]))
 		}
 	}
-	s.counts[c] = count
+	s.wcounts[w].n += count
 }
 
 // --- Intersection kernels ---------------------------------------------
@@ -398,10 +496,27 @@ func adaptiveCount(a, b []int32) int {
 	}
 }
 
-// mergeInto is the linear two-pointer merge.
+// mergeInto is the linear two-pointer merge, blocked: before every scalar
+// step it skips whole mergeBlock-sized runs whose last element is still
+// below the other side's cursor. The block test is one predictable branch
+// per skipped block (instead of mergeBlock mispredictable ones), and
+// reading the block's last element pulls the next cache line in ahead of
+// the scalar cursor — a software batch-prefetch.
 func mergeInto(a, b, dst []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
+		for i+mergeBlock <= len(a) && a[i+mergeBlock-1] < b[j] {
+			i += mergeBlock
+		}
+		if i >= len(a) {
+			break
+		}
+		for j+mergeBlock <= len(b) && b[j+mergeBlock-1] < a[i] {
+			j += mergeBlock
+		}
+		if j >= len(b) {
+			break
+		}
 		switch {
 		case a[i] < b[j]:
 			i++
@@ -419,6 +534,18 @@ func mergeInto(a, b, dst []int32) []int32 {
 func mergeCount(a, b []int32) int {
 	i, j, c := 0, 0, 0
 	for i < len(a) && j < len(b) {
+		for i+mergeBlock <= len(a) && a[i+mergeBlock-1] < b[j] {
+			i += mergeBlock
+		}
+		if i >= len(a) {
+			break
+		}
+		for j+mergeBlock <= len(b) && b[j+mergeBlock-1] < a[i] {
+			j += mergeBlock
+		}
+		if j >= len(b) {
+			break
+		}
 		switch {
 		case a[i] < b[j]:
 			i++
@@ -493,6 +620,35 @@ func lowerBoundGallop(lst []int32, x int32) int {
 	return hi
 }
 
+// andCount is the word-parallel kernel for heavy×heavy pairs: the
+// intersection size of two packed rank-bitmaps, 64 set-membership tests per
+// AND+popcount. len(x) must be >= len(y); bits of x beyond len(y) are
+// ignored (both heavy rows span the same rank space, and a scratch bitmap
+// is all-zero above it).
+func andCount(x, y []uint64) int64 {
+	c := 0
+	x = x[:len(y)]
+	for i, yw := range y {
+		c += bits.OnesCount64(x[i] & yw)
+	}
+	return int64(c)
+}
+
+// andInto appends the intersection of two packed rank-bitmaps to dst in
+// ascending rank order, extracting each AND word's set bits lowest-first.
+// Same length contract as andCount.
+func andInto(x, y []uint64, dst []int32) []int32 {
+	x = x[:len(y)]
+	for i, yw := range y {
+		m := x[i] & yw
+		for m != 0 {
+			dst = append(dst, int32(i<<6+bits.TrailingZeros64(m)))
+			m &= m - 1
+		}
+	}
+	return dst
+}
+
 // bitmapInto probes b against a packed bitmap of the other run.
 func bitmapInto(bm []uint64, b, dst []int32) []int32 {
 	for _, x := range b {
@@ -516,13 +672,6 @@ func bitmapCount(bm []uint64, b []int32) int {
 func resizeI32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
-	}
-	return s[:n]
-}
-
-func resizeI64(s []int64, n int) []int64 {
-	if cap(s) < n {
-		return make([]int64, n)
 	}
 	return s[:n]
 }

@@ -239,16 +239,46 @@ func decodeSortedPair(data []byte) (a, b []int32) {
 	return mk(rest[:split]), mk(rest[split:])
 }
 
-// FuzzIntersectionKernels checks that the galloping and bitmap kernels (and
-// all count variants) agree with the plain merge on arbitrary sorted inputs.
+// mergeRef is the obviously-correct plain two-pointer merge, kept in the
+// tests as the reference every production kernel — including the blocked
+// mergeInto itself — is pinned against.
+func mergeRef(a, b []int32) []int32 {
+	var dst []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// FuzzIntersectionKernels checks that the blocked-merge, galloping and
+// bitmap kernels (and all count variants) agree with the plain reference
+// merge on arbitrary sorted inputs.
 func FuzzIntersectionKernels(f *testing.F) {
 	f.Add([]byte{3, 1, 2, 3, 2, 3, 4})
 	f.Add([]byte{1, 9, 9, 9, 9})
 	f.Add([]byte{0})
 	f.Add([]byte{5, 0, 1, 2, 3, 4, 2, 200, 3})
+	// Block-boundary shapes for the blocked merge: runs a multiple of
+	// mergeBlock long that are entirely below (or interleaved with) the
+	// other side.
+	f.Add([]byte{8, 0, 1, 2, 3, 4, 5, 6, 7, 3, 100, 101, 102})
+	f.Add([]byte{16, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 1, 15})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, b := decodeSortedPair(data)
-		want := mergeInto(a, b, nil)
+		want := mergeRef(a, b)
+		if got := mergeInto(a, b, nil); !slices.Equal(got, want) {
+			t.Fatalf("blocked merge = %v, reference = %v", got, want)
+		}
 		if got := gallopInto(a, b, nil); !slices.Equal(got, want) {
 			t.Fatalf("gallop(a,b) = %v, merge = %v", got, want)
 		}
@@ -279,6 +309,25 @@ func FuzzIntersectionKernels(f *testing.F) {
 		}
 		if got := bitmapCount(bm, b); got != len(want) {
 			t.Fatalf("bitmapCount = %d, want %d", got, len(want))
+		}
+		// Word-parallel AND kernels: pack BOTH sides and check the packed
+		// intersection reproduces the merge exactly — ascending order and
+		// exact set equality, not just cardinality.
+		bmB := make([]uint64, 4)
+		for _, x := range b {
+			bmB[x>>6] |= 1 << (x & 63)
+		}
+		if got := andInto(bm, bmB, nil); !slices.Equal(got, want) {
+			t.Fatalf("andInto = %v, merge = %v", got, want)
+		}
+		if got := andInto(bmB, bm, nil); !slices.Equal(got, want) {
+			t.Fatalf("andInto(swapped) = %v, merge = %v", got, want)
+		}
+		if got := andCount(bm, bmB); got != int64(len(want)) {
+			t.Fatalf("andCount = %d, want %d", got, len(want))
+		}
+		if got := andCount(bmB, bm); got != int64(len(want)) {
+			t.Fatalf("andCount(swapped) = %d, want %d", got, len(want))
 		}
 	})
 }

@@ -1,12 +1,13 @@
 package perf
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 )
 
-func TestReportRoundTrip(t *testing.T) {
+func TestFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "r.json")
 	rep := NewReport()
 	rep.Entries = []Entry{
@@ -14,15 +15,101 @@ func TestReportRoundTrip(t *testing.T) {
 		{Name: "A/par", NsPerOp: 50, AllocsPerOp: 40, NoAllocGate: true},
 	}
 	rep.Derived = map[string]float64{"x": 2}
-	if err := WriteFile(path, rep); err != nil {
+	f := File{Runs: []Report{rep}}
+	if err := WriteFile(path, f); err != nil {
 		t.Fatal(err)
 	}
 	got, err := ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(rep, got) {
-		t.Fatalf("round trip drifted:\n%+v\n%+v", rep, got)
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip drifted:\n%+v\n%+v", f, got)
+	}
+}
+
+// TestReadFileLegacy checks the single-run fallback: a pre-multi-run
+// baseline (bare Report at top level) reads as a one-run File.
+func TestReadFileLegacy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	legacy := `{"go_version":"go1.24","goarch":"amd64","gomaxprocs":1,` +
+		`"entries":[{"name":"A","ns_per_op":42,"allocs_per_op":1}]}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 1 || f.Runs[0].GOMAXPROCS != 1 {
+		t.Fatalf("legacy read = %+v", f)
+	}
+	if e, ok := f.Runs[0].Entry("A"); !ok || e.NsPerOp != 42 {
+		t.Fatalf("legacy entry = %+v ok=%v", e, ok)
+	}
+}
+
+func TestRunForAndMergeRun(t *testing.T) {
+	var f File
+	one := Report{GOMAXPROCS: 1, Entries: []Entry{{Name: "A", NsPerOp: 10}}}
+	four := Report{GOMAXPROCS: 4, Entries: []Entry{{Name: "A", NsPerOp: 3}}}
+	f.MergeRun(four)
+	f.MergeRun(one)
+	if len(f.Runs) != 2 || f.Runs[0].GOMAXPROCS != 1 || f.Runs[1].GOMAXPROCS != 4 {
+		t.Fatalf("runs not sorted by gomaxprocs: %+v", f.Runs)
+	}
+	if r, exact := f.RunFor(4); !exact || r.GOMAXPROCS != 4 {
+		t.Fatalf("RunFor(4) = %+v exact=%v", r, exact)
+	}
+	// No exact match: nearest, ties toward fewer procs.
+	if r, exact := f.RunFor(2); exact || r.GOMAXPROCS != 1 {
+		t.Fatalf("RunFor(2) = %+v exact=%v, want nearest run (1)", r, exact)
+	}
+	if r, exact := f.RunFor(16); exact || r.GOMAXPROCS != 4 {
+		t.Fatalf("RunFor(16) = %+v exact=%v, want nearest run (4)", r, exact)
+	}
+	// Merging into an existing proc count replaces entries in place.
+	f.MergeRun(Report{GOMAXPROCS: 4, Entries: []Entry{{Name: "A", NsPerOp: 2}}})
+	if len(f.Runs) != 2 {
+		t.Fatalf("merge grew runs: %+v", f.Runs)
+	}
+	if e, _ := f.Runs[1].Entry("A"); e.NsPerOp != 2 {
+		t.Fatalf("merge did not replace: %+v", e)
+	}
+	// Empty file: nil, not a panic.
+	var empty File
+	if r, _ := empty.RunFor(1); r != nil {
+		t.Fatalf("RunFor on empty file = %+v", r)
+	}
+}
+
+// TestDefaultToleranceFor pins the proc-dependent floor contract: the
+// machine-independent floors always present, the multicore speedup floors
+// armed only at >= 4 effective procs.
+func TestDefaultToleranceFor(t *testing.T) {
+	lo := DefaultToleranceFor(1)
+	for _, key := range []string{
+		"speedup_sparse_activity_vs_dense",
+		"speedup_dynamic_incremental_vs_full",
+		"speedup_oracle_count_par_vs_seq",
+		"speedup_oracle_list_par_vs_seq",
+	} {
+		if _, ok := lo.Floors[key]; !ok {
+			t.Fatalf("1-proc floors missing %s: %v", key, lo.Floors)
+		}
+	}
+	if lo.Floors["speedup_oracle_count_par_vs_seq"] != 0.8 {
+		t.Fatalf("1-proc count floor = %v, want the 0.8 par-not-worse guard", lo.Floors)
+	}
+	if _, ok := lo.Floors["speedup_engine_gnp_par_vs_seq"]; ok {
+		t.Fatalf("multicore floor armed at 1 proc: %v", lo.Floors)
+	}
+	hi := DefaultToleranceFor(4)
+	if hi.Floors["speedup_engine_gnp_par_vs_seq"] != 2.0 ||
+		hi.Floors["speedup_oracle_count_par_vs_seq"] != 2.0 ||
+		hi.Floors["speedup_oracle_list_par_vs_seq"] != 1.5 ||
+		hi.Floors["speedup_engine_powerlaw_par_vs_seq"] != 1.5 {
+		t.Fatalf("4-proc floors = %v", hi.Floors)
 	}
 }
 

@@ -5,12 +5,18 @@
 // turns into a CI regression gate.
 //
 // The committed baseline files hold numbers from the machine that last
-// regenerated them (see their go_version/goarch/gomaxprocs header), so the
-// gate's machine-portable signals are allocs/op — deterministic for the
-// sequential workloads — and the derived same-run speedup ratios; wall-time
-// is compared only within a generous tolerance band. Re-baseline with
+// regenerated them (see each run's go_version/goarch/gomaxprocs/num_cpu
+// header), so the gate's machine-portable signals are allocs/op —
+// deterministic for the sequential workloads — and the derived same-run
+// speedup ratios; wall-time is compared only within a generous tolerance
+// band. A baseline file holds one run per GOMAXPROCS setting (File.Runs),
+// because parallel workloads have fundamentally different numbers at 1 and
+// at >=4 procs; the gate selects the run matching the current setting.
+// Re-baseline the current proc count's run with
 //
 //	UPDATE_BENCH=1 go run ./cmd/bench
+//
+// and the multicore run with GOMAXPROCS=4 prepended (CI gates both).
 package perf
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 )
 
 // Entry is one benchmark's measured numbers — the shared row schema of
@@ -45,11 +52,16 @@ type Entry struct {
 // derived same-run ratios (speedups computed between entries of this run,
 // which makes them machine-portable).
 type Report struct {
-	GoVersion  string             `json:"go_version"`
-	GOARCH     string             `json:"goarch"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	Entries    []Entry            `json:"entries"`
-	Derived    map[string]float64 `json:"derived,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU records the physical parallelism behind the run: a
+	// GOMAXPROCS=4 run on a 1-core box (timesliced, honest but slow) and
+	// on a 4-core box measure very different things, and the provenance
+	// header is how a reader tells them apart.
+	NumCPU  int                `json:"num_cpu,omitempty"`
+	Entries []Entry            `json:"entries"`
+	Derived map[string]float64 `json:"derived,omitempty"`
 }
 
 // NewReport returns a Report stamped with the current environment.
@@ -58,7 +70,16 @@ func NewReport() Report {
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
+}
+
+// EffectiveProcs is the parallelism a run can actually realize:
+// min(GOMAXPROCS, NumCPU). Speedup floors key off this — demanding a 2x
+// parallel speedup from a GOMAXPROCS=8 run on a single-core machine would
+// gate on physics, not regressions.
+func EffectiveProcs() int {
+	return min(runtime.GOMAXPROCS(0), runtime.NumCPU())
 }
 
 // Entry returns the named entry, if present.
@@ -91,6 +112,7 @@ func (r *Report) Merge(fresh Report) {
 	r.GoVersion = fresh.GoVersion
 	r.GOARCH = fresh.GOARCH
 	r.GOMAXPROCS = fresh.GOMAXPROCS
+	r.NumCPU = fresh.NumCPU
 	r.ComputeDerived()
 }
 
@@ -100,7 +122,10 @@ func (r *Report) Merge(fresh Report) {
 var derivedRatios = []struct{ Key, Num, Den string }{
 	{"speedup_sparse_activity_vs_dense", "EngineStepSparse/dense", "EngineStepSparse/activity"},
 	{"speedup_dynamic_incremental_vs_full", "DynamicApply/full", "DynamicApply/incremental"},
+	{"speedup_engine_gnp_par_vs_seq", "EngineStep/gnp", "EngineStep/gnp-par"},
+	{"speedup_engine_powerlaw_par_vs_seq", "EngineStep/powerlaw", "EngineStep/powerlaw-par"},
 	{"speedup_oracle_list_par_vs_seq", "ListTriangles/seq", "ListTriangles/par"},
+	{"speedup_oracle_count_par_vs_seq", "CountTriangles/seq", "CountTriangles/par"},
 	{"speedup_sweep_par_vs_seq", "Sweep/seq", "Sweep/par"},
 }
 
@@ -120,10 +145,60 @@ func (r *Report) ComputeDerived() {
 	}
 }
 
-// WriteFile writes the report as indented JSON (the diffable committed
-// form).
-func WriteFile(path string, r Report) error {
-	data, err := json.MarshalIndent(r, "", "  ")
+// File is the committed BENCH_*.json shape: one run per GOMAXPROCS
+// setting, sorted ascending. Parallel workloads measure fundamentally
+// different things at 1 and at >=4 procs, so each proc count keeps its own
+// baseline and the gate compares like with like.
+type File struct {
+	Runs []Report `json:"runs"`
+}
+
+// RunFor returns the run whose GOMAXPROCS matches procs, and whether the
+// match was exact. With no exact match it falls back to the nearest run
+// (ties toward fewer procs) so a gate on an unbaselined proc count still
+// has a band to compare against — the caller should surface the mismatch.
+// Returns nil only for an empty file.
+func (f *File) RunFor(procs int) (*Report, bool) {
+	var best *Report
+	for i := range f.Runs {
+		r := &f.Runs[i]
+		if r.GOMAXPROCS == procs {
+			return r, true
+		}
+		if best == nil || absInt(r.GOMAXPROCS-procs) < absInt(best.GOMAXPROCS-procs) ||
+			(absInt(r.GOMAXPROCS-procs) == absInt(best.GOMAXPROCS-procs) && r.GOMAXPROCS < best.GOMAXPROCS) {
+			best = r
+		}
+	}
+	return best, false
+}
+
+// MergeRun merges fresh into the run with the same GOMAXPROCS (replacing
+// re-run entries, keeping the rest — the partial -suite path) or inserts it
+// as a new run, keeping Runs sorted by GOMAXPROCS.
+func (f *File) MergeRun(fresh Report) {
+	for i := range f.Runs {
+		if f.Runs[i].GOMAXPROCS == fresh.GOMAXPROCS {
+			f.Runs[i].Merge(fresh)
+			return
+		}
+	}
+	fresh.ComputeDerived()
+	f.Runs = append(f.Runs, fresh)
+	sort.Slice(f.Runs, func(i, j int) bool { return f.Runs[i].GOMAXPROCS < f.Runs[j].GOMAXPROCS })
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteFile writes the baseline file as indented JSON (the diffable
+// committed form).
+func WriteFile(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -131,15 +206,26 @@ func WriteFile(path string, r Report) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// ReadFile loads a report written by WriteFile.
-func ReadFile(path string) (Report, error) {
+// ReadFile loads a baseline written by WriteFile. Legacy single-run files
+// (a bare Report at top level, from before the multi-run format) are read
+// as a one-run File.
+func ReadFile(path string) (File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return Report{}, err
+		return File{}, err
 	}
-	var r Report
-	if err := json.Unmarshal(data, &r); err != nil {
-		return Report{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("perf: parsing %s: %w", path, err)
 	}
-	return r, nil
+	if f.Runs == nil {
+		var r Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return File{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+		}
+		if len(r.Entries) > 0 {
+			f.Runs = []Report{r}
+		}
+	}
+	return f, nil
 }

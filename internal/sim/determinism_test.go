@@ -116,6 +116,53 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestWorkerCountsBitIdentical pins the work-balanced sharding rework: for
+// every graph family and every worker count — including counts above the
+// machine's core count, which exercise shards smaller than the activity
+// would otherwise cut — the run is bit-identical to the sequential spine.
+// Shard boundaries depend on measured activity (queued words, inbox sizes),
+// so this is the test that would catch any observable state leaking into a
+// shard-shape-dependent order. Run under -race (CI does) to audit the
+// single-writer ownership the phases rely on.
+func TestWorkerCountsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	families := []struct {
+		name string
+		mk   func(n int) *graph.Graph
+	}{
+		{"gnp", func(n int) *graph.Graph { return graph.Gnp(n, 0.15, rng) }},
+		{"powerlaw", func(n int) *graph.Graph { return graph.BarabasiAlbert(n, 3, rng) }},
+		{"ring", func(n int) *graph.Graph { return graph.RingWithChords(n, n/2, rng) }},
+	}
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				n := 16 + rng.Intn(48)
+				g := fam.mk(n)
+				seed := rng.Int63()
+				rounds := 12 + rng.Intn(20)
+				seqCfg := sim.Config{Seed: seed, BandwidthWords: 1 + rng.Intn(3)}
+				sm, so, sr := runChatter(t, g, seqCfg, rounds)
+				for _, workers := range []int{1, 2, 4, 7} {
+					parCfg := seqCfg
+					parCfg.Parallel = true
+					parCfg.Workers = workers
+					pm, po, pr := runChatter(t, g, parCfg, rounds)
+					if sr != pr {
+						t.Fatalf("trial %d workers %d: rounds %d (seq) != %d (par)", trial, workers, sr, pr)
+					}
+					if !reflect.DeepEqual(sm, pm) {
+						t.Fatalf("trial %d workers %d: metrics diverge:\nseq %+v\npar %+v", trial, workers, sm, pm)
+					}
+					if !reflect.DeepEqual(so, po) {
+						t.Fatalf("trial %d workers %d: outputs diverge", trial, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestParallelMatchesSequentialBroadcast covers the broadcast-CONGEST path,
 // whose delivery fan-out stays sequential but whose node phase still runs on
 // the worker pool.

@@ -5,9 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"slices"
-	"sync"
 
 	"repro/internal/graph"
 )
@@ -55,12 +53,17 @@ type Config struct {
 	BandwidthWords int
 	// Seed derives every node's private random stream.
 	Seed int64
-	// Parallel shards the delivery phase by receiver and runs node state
-	// machines on all CPUs. Results are bit-identical to the sequential
+	// Parallel shards the delivery, compute and merge word-copy phases
+	// across a worker pool. Results are bit-identical to the sequential
 	// engine for the same seed (see DESIGN.md, "determinism contract").
-	// Rounds whose active set is smaller than parallelMinItems — and any
-	// round on a single-CPU runtime — take the sequential path regardless.
+	// Phases whose measured activity falls below parallelMinWords — and any
+	// run resolving to a single worker — take the sequential path regardless.
 	Parallel bool
+	// Workers bounds the Parallel fan-out width: 0 selects GOMAXPROCS,
+	// 1 forces the sequential path. The output is identical for every value
+	// (the work-balanced sharding property tests drive 1/2/4/7 workers on
+	// one machine and assert bit-equality).
+	Workers int
 	// MaxRounds aborts RunUntilQuiescent (default 1 << 22).
 	MaxRounds int
 	// Scheduler selects the round scheduler; the zero value is
@@ -192,6 +195,15 @@ type Engine struct {
 	recvActive [][]int32
 	activeRecv []int32
 
+	// Queued-word accounting for work-balanced sharding and the
+	// activity-aware parallel gates: recvQueued[v] is the unicast words
+	// currently queued toward receiver v, queuedWords their total. Both are
+	// maintained on the sequential spine (activatePending) and decremented
+	// by the delivery phase (recvQueued by the single worker owning v,
+	// queuedWords from the folded shard counters).
+	recvQueued  []int64
+	queuedWords int64
+
 	// Broadcast-mode state: one shared outgoing queue per node.
 	bcastQ      []wordQueue
 	bcastActive []int32
@@ -204,6 +216,16 @@ type Engine struct {
 	hooks     Hooks
 	round     int
 	started   bool
+
+	// Parallel-phase scratch, reused across rounds: the persistent worker
+	// pool, the weighted shard plan and weight buffer, and pre-built
+	// per-phase thunks so dispatching a fan-out allocates nothing.
+	wpool     *workerPool
+	shardPlan []int32
+	weightBuf []int64
+	deliverFn func(worker int)
+	computeFn func(worker int)
+	mergeFn   func(worker int)
 
 	// Activity-scheduler state. notDone counts nodes with ctx.done unset
 	// (maintained on the sequential spine against doneMark, never from node
@@ -224,18 +246,14 @@ type Engine struct {
 	nextReady []int32
 }
 
-// parallelMinItems is the sequential-fallback threshold: below this many
-// items, the goroutine fan-out of parallelFor costs more than it saves and
-// the engine takes the sequential path even when Config.Parallel is set.
-const parallelMinItems = 32
-
 // deliveryShard accumulates one worker's delivery-phase counters; padded to
-// a full 64-byte cache line so workers do not false-share.
+// 128 bytes — two cache lines, because the adjacent-line hardware
+// prefetcher pairs lines — so workers do not false-share.
 type deliveryShard struct {
 	messages int64
 	words    int64
 	moved    bool
-	_        [47]byte
+	_        [111]byte
 }
 
 // NewEngine builds an engine for the given input graph and per-node
@@ -285,6 +303,26 @@ func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
 	}
 	e.recvStamp = make([]uint32, n)
 	e.recvActive = make([][]int32, n)
+	e.recvQueued = make([]int64, n)
+	e.deliverFn = func(worker int) {
+		lo, hi := e.shardPlan[worker], e.shardPlan[worker+1]
+		shard := &e.shards[worker]
+		for _, v := range e.activeRecv[lo:hi] {
+			e.deliverTo(v, shard)
+		}
+	}
+	e.computeFn = func(worker int) {
+		lo, hi := e.shardPlan[worker], e.shardPlan[worker+1]
+		for _, v := range e.scheduled[lo:hi] {
+			e.nodes[v].Round(e.ctxs[v], e.round, e.inboxes[v])
+		}
+	}
+	e.mergeFn = func(worker int) {
+		lo, hi := e.shardPlan[worker], e.shardPlan[worker+1]
+		for _, v := range e.scheduled[lo:hi] {
+			e.copyPending(int(v))
+		}
+	}
 	if cfg.Mode == ModeBroadcast {
 		e.bcastQ = make([]wordQueue, n)
 		e.bcastInSet = make([]bool, n)
@@ -400,16 +438,48 @@ func (e *Engine) emitOutputs(v int) {
 }
 
 // flushPending moves ctx.pending into channel queues, updating the active
-// stamps and lists. Always called in ascending node order (the merge phase
-// is sequential), which is what makes per-receiver activation order — and
-// hence inbox order — deterministic regardless of Config.Parallel.
+// stamps and lists. Always called in ascending node order (activation runs
+// on the sequential spine), which is what makes per-receiver activation
+// order — and hence inbox order — deterministic regardless of
+// Config.Parallel. It is split in two so the merge phase can parallelize
+// the expensive half: copyPending moves the words (touching only
+// sender-owned queues, safe under sender sharding) and activatePending does
+// the order-sensitive bookkeeping.
 func (e *Engine) flushPending(v int) {
+	e.copyPending(v)
+	e.activatePending(v)
+}
+
+// copyPending appends node v's pending send spans to its outgoing channel
+// queues and folds its sent-words counters. Every queue it touches is owned
+// by sender v (unicast queues are indexed by the sender's CSR row; bcastQ[v]
+// is v's own), and the counters are v-owned, so distinct senders can copy
+// concurrently. Activation state (stamps, active lists, queued-word
+// accounting) is deliberately untouched — that is activatePending's job, on
+// the sequential spine.
+func (e *Engine) copyPending(v int) {
 	ctx := e.ctxs[v]
 	for _, ps := range ctx.pending {
 		ws := ctx.sendBuf[ps.off : ps.off+ps.n]
 		if ps.nbrIdx == bcastIdx {
 			e.bcastQ[v].push(ws)
-			ctx.wordsSent += int64(len(ws))
+		} else {
+			e.queues[e.commOffs[v]+ps.nbrIdx].push(ws)
+		}
+		ctx.wordsSent += int64(len(ws))
+	}
+	e.metrics.PerNodeWordsSent[v] = ctx.wordsSent
+}
+
+// activatePending updates the activation stamps, active lists and
+// queued-word accounting for node v's pending sends, then clears the
+// pending list and send arena. Must run on the sequential spine in
+// ascending node order — the append order of recvActive/activeRecv is the
+// determinism contract's source of per-receiver delivery order.
+func (e *Engine) activatePending(v int) {
+	ctx := e.ctxs[v]
+	for _, ps := range ctx.pending {
+		if ps.nbrIdx == bcastIdx {
 			if !e.bcastInSet[v] {
 				e.bcastInSet[v] = true
 				e.bcastActive = append(e.bcastActive, int32(v))
@@ -417,11 +487,11 @@ func (e *Engine) flushPending(v int) {
 			continue
 		}
 		eid := e.commOffs[v] + ps.nbrIdx
-		e.queues[eid].push(ws)
-		ctx.wordsSent += int64(len(ws))
+		to := e.commTgts[eid]
+		e.recvQueued[to] += int64(ps.n)
+		e.queuedWords += int64(ps.n)
 		if e.edgeStamp[eid] != e.epoch {
 			e.edgeStamp[eid] = e.epoch
-			to := e.commTgts[eid]
 			e.recvActive[to] = append(e.recvActive[to], eid)
 			if e.recvStamp[to] != e.epoch {
 				e.recvStamp[to] = e.epoch
@@ -431,7 +501,6 @@ func (e *Engine) flushPending(v int) {
 	}
 	ctx.pending = ctx.pending[:0]
 	ctx.sendBuf = ctx.sendBuf[:0]
-	e.metrics.PerNodeWordsSent[v] = ctx.wordsSent
 }
 
 // deliverTo drains up to B words from every active in-edge of receiver v
@@ -449,6 +518,7 @@ func (e *Engine) deliverTo(v int32, shard *deliveryShard) {
 			shard.messages++
 			shard.words += int64(len(ws))
 			e.metrics.PerNodeWordsRecv[v] += int64(len(ws))
+			e.recvQueued[v] -= int64(len(ws))
 			shard.moved = true
 		}
 		if !q.empty() {
@@ -474,7 +544,8 @@ func (e *Engine) step() {
 	b := e.cfg.BandwidthWords
 	msgs0, words0 := e.metrics.MessagesDelivered, e.metrics.WordsDelivered
 	activity := e.cfg.Scheduler != SchedulerDense
-	usePar := e.cfg.Parallel && runtime.GOMAXPROCS(0) > 1
+	workers := e.poolWorkers()
+	usePar := e.cfg.Parallel && workers > 1
 	scheduled := e.scheduled[:0]
 	if activity {
 		e.schedGen++
@@ -519,36 +590,53 @@ func (e *Engine) step() {
 	// Unicast channels, receiver-major. Workers own disjoint receivers, so
 	// every mutation in deliverTo is single-writer; the deterministic part —
 	// which receiver gets which deliveries in which order — is fixed by
-	// recvActive's activation order, not by worker interleaving.
-	if usePar && len(e.activeRecv) >= parallelMinItems {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(e.activeRecv) {
-			workers = len(e.activeRecv)
+	// recvActive's activation order, not by worker interleaving. Shards are
+	// cut by deliverable queued words per receiver (capacity-capped at B per
+	// active in-edge), not receiver count, so a hub receiver does not
+	// serialize its shard; the gate thresholds on queued words for the same
+	// reason. Delivered words are folded back into the global queued counter
+	// from the shard totals.
+	delivered := int64(0)
+	if usePar && e.queuedWords >= parallelMinWords && len(e.activeRecv) > 1 {
+		weights := resizeInt64(&e.weightBuf, len(e.activeRecv))
+		total := int64(0)
+		bw := int64(b)
+		for i, v := range e.activeRecv {
+			w := e.recvQueued[v]
+			if lim := bw * int64(len(e.recvActive[v])); w > lim {
+				w = lim
+			}
+			w++
+			weights[i] = w
+			total += w
 		}
-		if cap(e.shards) < workers {
-			e.shards = make([]deliveryShard, workers)
+		e.shardPlan = weightedShards(e.shardPlan, len(e.activeRecv), workers, weights, total)
+		nshards := len(e.shardPlan) - 1
+		if cap(e.shards) < nshards {
+			e.shards = make([]deliveryShard, nshards)
 		}
-		shards := e.shards[:workers]
+		shards := e.shards[:nshards]
 		for i := range shards {
 			shards[i] = deliveryShard{}
 		}
-		parallelFor(e.activeRecv, func(worker int, v int32) {
-			e.deliverTo(v, &shards[worker])
-		})
+		e.pool().run(nshards, e.deliverFn)
 		for i := range shards {
 			e.metrics.MessagesDelivered += shards[i].messages
-			e.metrics.WordsDelivered += shards[i].words
+			delivered += shards[i].words
 			moved = moved || shards[i].moved
 		}
+		e.metrics.WordsDelivered += delivered
 	} else if len(e.activeRecv) > 0 {
 		var shard deliveryShard
 		for _, v := range e.activeRecv {
 			e.deliverTo(v, &shard)
 		}
 		e.metrics.MessagesDelivered += shard.messages
-		e.metrics.WordsDelivered += shard.words
+		delivered = shard.words
+		e.metrics.WordsDelivered += delivered
 		moved = moved || shard.moved
 	}
+	e.queuedWords -= delivered
 	// Compact the receiver list sequentially (preserves activation order).
 	stillRecv := e.activeRecv[:0]
 	for _, v := range e.activeRecv {
@@ -603,22 +691,53 @@ func (e *Engine) step() {
 		}
 	}
 	e.scheduled = scheduled
-	run := func(_ int, v int32) {
-		e.nodes[v].Round(e.ctxs[v], e.round, e.inboxes[v])
-	}
-	if usePar && len(scheduled) >= parallelMinItems {
-		parallelFor(scheduled, run)
+	// Compute fan-out, gated on measured activity: words delivered this
+	// round plus the scheduled count (a node's Round cost scales with its
+	// inbox, plus a constant), with shards weighted the same way.
+	computeActivity := int64(len(scheduled)) + (e.metrics.WordsDelivered - words0)
+	if usePar && computeActivity >= parallelMinWords && len(scheduled) > 1 {
+		weights := resizeInt64(&e.weightBuf, len(scheduled))
+		total := int64(0)
+		for i, v := range scheduled {
+			w := int64(1 + len(e.inboxes[v]))
+			weights[i] = w
+			total += w
+		}
+		e.shardPlan = weightedShards(e.shardPlan, len(scheduled), workers, weights, total)
+		e.pool().run(len(e.shardPlan)-1, e.computeFn)
 	} else {
 		for _, v := range scheduled {
-			run(0, v)
+			e.nodes[v].Round(e.ctxs[v], e.round, e.inboxes[v])
 		}
 	}
 	// Phase 3: merge (deterministic node order — scheduled is ascending).
-	for _, v := range scheduled {
-		e.flushPending(int(v))
-		e.emitOutputs(int(v))
-		e.inboxes[v] = e.inboxes[v][:0]
-		e.trackNode(int(v), e.round+1)
+	// The word-copy half is sender-sharded (each queue has one sender) and
+	// weighted by pending send-arena words; activation, output emission and
+	// scheduler tracking stay on the sequential spine, which is what keeps
+	// per-receiver delivery order — and hook streams — bit-identical to the
+	// sequential engine.
+	if usePar && len(scheduled) > 1 {
+		weights := resizeInt64(&e.weightBuf, len(scheduled))
+		total := int64(0)
+		for i, v := range scheduled {
+			w := int64(1 + len(e.ctxs[v].sendBuf))
+			weights[i] = w
+			total += w
+		}
+		if total >= parallelMinWords {
+			e.shardPlan = weightedShards(e.shardPlan, len(scheduled), workers, weights, total)
+			e.pool().run(len(e.shardPlan)-1, e.mergeFn)
+			for _, v := range scheduled {
+				e.activatePending(int(v))
+				e.emitOutputs(int(v))
+				e.inboxes[v] = e.inboxes[v][:0]
+				e.trackNode(int(v), e.round+1)
+			}
+		} else {
+			e.mergeSeq(scheduled)
+		}
+	} else {
+		e.mergeSeq(scheduled)
 	}
 	e.round++
 	e.metrics.Rounds = e.round
@@ -631,31 +750,24 @@ func (e *Engine) step() {
 	}
 }
 
-// parallelFor runs fn over items on up to GOMAXPROCS workers in contiguous
-// chunks, passing each call its worker index so callers can keep per-worker
-// accumulators without sharing.
-func parallelFor(items []int32, fn func(worker int, v int32)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(items) {
-		workers = len(items)
+// mergeSeq is the sequential merge phase: flush, emit, reset and track each
+// scheduled node in ascending order.
+func (e *Engine) mergeSeq(scheduled []int32) {
+	for _, v := range scheduled {
+		e.flushPending(int(v))
+		e.emitOutputs(int(v))
+		e.inboxes[v] = e.inboxes[v][:0]
+		e.trackNode(int(v), e.round+1)
 	}
-	var wg sync.WaitGroup
-	chunk := (len(items) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(items))
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w int, part []int32) {
-			defer wg.Done()
-			for _, v := range part {
-				fn(w, v)
-			}
-		}(w, items[lo:hi])
+}
+
+// resizeInt64 grows *buf to n entries (contents undefined) and returns it.
+func resizeInt64(buf *[]int64, n int) []int64 {
+	if cap(*buf) < n {
+		*buf = make([]int64, n)
 	}
-	wg.Wait()
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // Reset rewinds the engine for a fresh run over the same graph and
@@ -745,6 +857,8 @@ func (e *Engine) clearRun(nodes []Node, seed int64) {
 		e.recvActive[v] = e.recvActive[v][:0]
 	}
 	e.activeRecv = e.activeRecv[:0]
+	clear(e.recvQueued)
+	e.queuedWords = 0
 	for _, u := range e.bcastActive {
 		q := &e.bcastQ[u]
 		q.buf = q.buf[:0]
