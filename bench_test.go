@@ -405,3 +405,21 @@ func BenchmarkEngineStepSparse(b *testing.B) {
 	b.Run("dense", perf.EngineStepSparse(sim.SchedulerDense))
 	b.Run("activity", perf.EngineStepSparse(sim.SchedulerActivity))
 }
+
+// BenchmarkEngineStepLarge — the million-node scale proof (the `large`
+// suite in BENCH_engine.json): steady-state rounds over a shared sparse
+// G(10^6, p) graph, unsharded vs the 4-shard engine. Expensive — the
+// graph is generated and an engine built on first run — so the quick smoke
+// regexes (CI, README) deliberately exclude it; opt in with
+// -bench BenchmarkEngineStepLarge.
+func BenchmarkEngineStepLarge(b *testing.B) {
+	b.Run("seq", perf.EngineStepLarge(0, false))
+	b.Run("sharded", perf.EngineStepLarge(4, true))
+}
+
+// BenchmarkLargeLoad — the two million-node ingest paths: text edge-list
+// parse vs the mmap-backed binary CSR container.
+func BenchmarkLargeLoad(b *testing.B) {
+	b.Run("text", perf.LargeLoadText())
+	b.Run("csrbin", perf.LargeLoadCSRBin())
+}

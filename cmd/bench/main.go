@@ -1,5 +1,6 @@
 // Command bench is the unified perf driver and CI regression gate: it runs
-// the internal/perf benchmark suites (engine, oracle, sweep, dynamic),
+// the internal/perf benchmark suites (engine, oracle, sweep, dynamic,
+// large),
 // emits one consolidated report in the shared BENCH_*.json schema, and
 // compares it against the committed baseline within a tolerance band.
 //

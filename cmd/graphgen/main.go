@@ -1,14 +1,16 @@
 // Command graphgen generates benchmark input graphs in the repository's
-// edge-list format and reports their triangle structure (the quantities the
-// paper's algorithms key on: #(e) heaviness census, degree distribution,
-// diameter). Graph sourcing goes through the public repro/congest spec
-// path; the structural census uses the graph substrate directly.
+// text edge-list or binary CSR (.csrbin) formats and reports their triangle
+// structure (the quantities the paper's algorithms key on: #(e) heaviness
+// census, degree distribution, diameter). Graph sourcing goes through the
+// public repro/congest spec path; the structural census uses the graph
+// substrate directly.
 //
 // Examples:
 //
 //	graphgen -gen gnp -n 128 -p 0.5 -o g.txt
+//	graphgen -gen gnp -n 1000000 -p 0.000008 -o g.csrbin -stats=false
 //	graphgen -gen ba -n 256 -k 4 -stats -eps 0.5
-//	graphgen -load g.txt -stats
+//	graphgen -load g.csrbin -stats
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/congest"
 	"repro/internal/graph"
@@ -34,9 +37,10 @@ func run(args []string, out *os.File) error {
 	var gf congest.GraphFlags
 	gf.Register(fs)
 	var (
-		o     = fs.String("o", "", "write the graph to this file (edge-list format)")
-		stats = fs.Bool("stats", true, "print structural statistics")
-		eps   = fs.Float64("eps", 0.5, "heaviness exponent for the #(e) census")
+		o      = fs.String("o", "", "write the graph to this file")
+		format = fs.String("format", "auto", "output format: auto|text|csrbin (auto picks csrbin for a .csrbin -o path)")
+		stats  = fs.Bool("stats", true, "print structural statistics")
+		eps    = fs.Float64("eps", 0.5, "heaviness exponent for the #(e) census")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,11 +50,23 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	if *o != "" {
+		write := graph.WriteEdgeList
+		switch *format {
+		case "auto":
+			if strings.HasSuffix(*o, ".csrbin") {
+				write = graph.WriteCSRBinary
+			}
+		case "text":
+		case "csrbin":
+			write = graph.WriteCSRBinary
+		default:
+			return fmt.Errorf("unknown -format %q (auto|text|csrbin)", *format)
+		}
 		f, err := os.Create(*o)
 		if err != nil {
 			return err
 		}
-		werr := graph.WriteEdgeList(f, g)
+		werr := write(f, g)
 		cerr := f.Close()
 		if werr != nil {
 			return werr

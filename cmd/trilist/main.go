@@ -39,6 +39,7 @@ func run(args []string) error {
 		eps      = fs.Float64("eps", 0, "heaviness exponent override (0 = algorithm default)")
 		show     = fs.Int("show", 5, "triangles to print (0 = none)")
 		parallel = fs.Bool("parallel", false, "run node state machines on all CPUs")
+		shards   = fs.Int("shards", 0, "engine node shards for large graphs (0 = unsharded; bit-identical)")
 		workers  = fs.Int("workers", 0, "centralized-oracle worker pool size (0 = all CPUs)")
 		verify   = fs.Bool("verify", true, "verify output against the centralized oracle")
 		explain  = fs.Bool("explain", false, "print the per-segment round budget")
@@ -59,6 +60,7 @@ func run(args []string) error {
 		Eps:       *eps,
 		Probes:    *probes,
 		Parallel:  *parallel,
+		Shards:    *shards,
 	}
 	if !*verify {
 		spec.Verify = congest.VerifyNone

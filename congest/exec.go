@@ -92,7 +92,8 @@ func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Resul
 	g := sg.g
 	n := g.N()
 	b := spec.bandwidth()
-	cfg := sim.Config{Mode: modeFor(spec.Algo), BandwidthWords: b, Seed: spec.Seed, Parallel: spec.Parallel}
+	cfg := sim.Config{Mode: modeFor(spec.Algo), BandwidthWords: b, Seed: spec.Seed,
+		Parallel: spec.Parallel, Shards: spec.Shards}
 	if spec.Algo == "count" {
 		return s.runCount(ctx, spec, g, cfg)
 	}

@@ -37,7 +37,7 @@ func (f *GraphFlags) Register(fs *flag.FlagSet) {
 		f.Seed = 1
 	}
 	fs.StringVar(&f.Gen, "gen", f.Gen, "generator: "+strings.Join(GeneratorNames(), "|"))
-	fs.StringVar(&f.Load, "load", f.Load, "load an edge-list file instead of generating")
+	fs.StringVar(&f.Load, "load", f.Load, "load a graph file instead of generating (.csrbin = binary CSR, else text edge list)")
 	fs.IntVar(&f.N, "n", f.N, "number of vertices")
 	fs.Float64Var(&f.P, "p", f.P, "edge probability (generator dependent)")
 	fs.IntVar(&f.K, "k", f.K, "generator integer parameter")

@@ -39,6 +39,7 @@ type runnerKey struct {
 	mode     sim.Mode
 	b        int
 	parallel bool
+	shards   int
 }
 
 // NewSession returns an empty session. WithOracleWorkers defaults to all
@@ -93,7 +94,7 @@ func (s *Session) graphFor(gs GraphSpec) (*sessionGraph, error) {
 
 // runner returns the cached engine pool for (graph, config).
 func (sg *sessionGraph) runner(cfg sim.Config) *core.Runner {
-	key := runnerKey{mode: cfg.Mode, b: cfg.BandwidthWords, parallel: cfg.Parallel}
+	key := runnerKey{mode: cfg.Mode, b: cfg.BandwidthWords, parallel: cfg.Parallel, shards: cfg.Shards}
 	sg.mu.Lock()
 	defer sg.mu.Unlock()
 	r, ok := sg.runners[key]

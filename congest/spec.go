@@ -15,11 +15,13 @@ import (
 )
 
 // GraphSpec names a job's input graph declaratively. Exactly one source
-// must be set: File (an edge-list file on the server's filesystem),
-// Generator (a registered generator name plus its N/P/K/Seed parameters),
-// or Edges (an inline edge list over N vertices).
+// must be set: File (a graph file on the server's filesystem), Generator
+// (a registered generator name plus its N/P/K/Seed parameters), or Edges
+// (an inline edge list over N vertices).
 type GraphSpec struct {
-	// File is an edge-list file path (the repository's edge-list format).
+	// File is a graph file path. Files ending in ".csrbin" are read as the
+	// repository's binary CSR container (memory-mapped where the platform
+	// supports it); anything else is parsed as the text edge-list format.
 	File string `json:"file,omitempty"`
 	// Generator is a registered generator name; see GeneratorNames.
 	Generator string `json:"generator,omitempty"`
@@ -71,6 +73,11 @@ func (gs GraphSpec) build() (*graph.Graph, error) {
 	}
 	switch {
 	case gs.File != "":
+		if strings.HasSuffix(gs.File, ".csrbin") {
+			// Binary CSR container; memory-mapped where supported, with the
+			// mapping's lifetime tied to the returned graph.
+			return graph.LoadCSRBinary(gs.File)
+		}
 		f, err := os.Open(gs.File)
 		if err != nil {
 			return nil, err
@@ -165,6 +172,12 @@ type JobSpec struct {
 	// Parallel runs the engine's node state machines on all CPUs; results
 	// are bit-identical either way.
 	Parallel bool `json:"parallel,omitempty"`
+	// Shards partitions the engine's per-round work into that many
+	// contiguous node shards with deterministic cross-shard message
+	// exchange — the large-graph execution path, usually combined with
+	// Parallel. Zero or one runs unsharded; results are bit-identical at
+	// every shard count.
+	Shards int `json:"shards,omitempty"`
 	// Verify selects the verification mode; see VerifyAuto.
 	Verify string `json:"verify,omitempty"`
 	// MaxTriangles caps Result.Triangles (the full count is always in
@@ -217,6 +230,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.Repetitions < 0 {
 		return fmt.Errorf("congest: negative repetitions %d", s.Repetitions)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("congest: negative shards %d", s.Shards)
 	}
 	switch s.Verify {
 	case "", VerifyAuto, VerifyNone, VerifyOneSided, VerifyListing, VerifyFinding:

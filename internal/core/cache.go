@@ -10,7 +10,7 @@ import (
 
 // EngineCache pools engines and node slices across independent runs over
 // DIFFERENT graphs, keyed by everything that fixes an engine's slab shape:
-// vertex count, mode, bandwidth, parallelism and scheduler. It is the
+// vertex count, mode, bandwidth, parallelism, scheduler and shard count. It is the
 // sweep-cell reuse path: consecutive cells run over freshly generated
 // graphs of recurring sizes, so a per-graph Runner never gets a second hit,
 // but a size-keyed cache re-points a drained engine at the next cell's
@@ -39,6 +39,7 @@ type engineKey struct {
 	parallel  bool
 	workers   int
 	scheduler sim.Scheduler
+	shards    int
 }
 
 // maxFreePerKey bounds the idle engines (and node slices) retained per
@@ -58,7 +59,8 @@ func NewEngineCache() *EngineCache {
 func keyFor(n int, cfg sim.Config) engineKey {
 	cfg = cfg.Normalized()
 	return engineKey{n: n, mode: cfg.Mode, bandwidth: cfg.BandwidthWords,
-		parallel: cfg.Parallel, workers: cfg.Workers, scheduler: cfg.Scheduler}
+		parallel: cfg.Parallel, workers: cfg.Workers, scheduler: cfg.Scheduler,
+		shards: cfg.Shards}
 }
 
 func (c *EngineCache) getNodes(n int) []sim.Node {

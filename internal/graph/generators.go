@@ -1,36 +1,92 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
+	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 )
 
+// gnpLeanThreshold is the vertex count at which Gnp switches from the
+// pair-enumeration loop (one rng draw per pair, kept for seed-stability of
+// every existing test and benchmark graph) to geometric skip sampling (one
+// rng draw per edge). 65536 is above every pinned test graph and far below
+// the million-node sizes where the O(n^2) loop stops being feasible.
+const gnpLeanThreshold = 65536
+
 // Gnp samples an Erdos-Renyi random graph G(n, p): every unordered pair is
 // an edge independently with probability p. G(n, 1/2) is the hard input
 // distribution used by the paper's lower bounds (Section 4).
+//
+// Below gnpLeanThreshold vertices the sampler draws one uniform per pair, so
+// graphs are bit-identical to every previous release for a given seed. At or
+// above the threshold it uses Batagelj-Brandes geometric skips: O(m) draws
+// and O(m) memory, which is what makes n=10^6 sparse generation take tens of
+// milliseconds instead of an 10^12-pair scan. Both paths emit edges in
+// canonical row-major order and finalize through FromSortedEdges — no edge
+// map.
 func Gnp(n int, p float64, rng *rand.Rand) *Graph {
-	b := NewBuilder(n)
+	if n >= gnpLeanThreshold {
+		return gnpGeometric(n, p, rng)
+	}
+	est := int(p * float64(n) * float64(n-1) / 2)
+	edges := make([]Edge, 0, est+16)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if rng.Float64() < p {
-				mustAdd(b, u, v)
+				edges = append(edges, Edge{U: u, V: v})
 			}
 		}
 	}
-	return b.Build()
+	return mustSorted(n, edges)
+}
+
+// gnpGeometric is the Batagelj-Brandes sampler: successive edge slots are
+// separated by geometric(p) gaps, visiting only the pairs that become edges.
+// Pairs are enumerated row-major ((0,1), (0,2), ..., (1,2), ...), so the
+// output is already in FromSortedEdges order.
+func gnpGeometric(n int, p float64, rng *rand.Rand) *Graph {
+	if p <= 0 || n < 2 {
+		return Empty(n)
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	est := int(p * float64(n) * float64(n-1) / 2)
+	edges := make([]Edge, 0, est+16)
+	logq := math.Log1p(-p)
+	// w indexes columns within row u: the pair is (u, u+1+w), row u has
+	// n-1-u columns.
+	u, w := 0, -1
+	for u < n-1 {
+		skip := 1 + int(math.Log1p(-rng.Float64())/logq)
+		if skip < 1 {
+			skip = 1 // guard against float rounding producing a zero skip
+		}
+		w += skip
+		for u < n-1 && w >= n-1-u {
+			w -= n - 1 - u
+			u++
+		}
+		if u < n-1 {
+			edges = append(edges, Edge{U: u, V: u + 1 + w})
+		}
+	}
+	return mustSorted(n, edges)
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	b := NewBuilder(n)
+	edges := make([]Edge, 0, n*(n-1)/2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			mustAdd(b, u, v)
+			edges = append(edges, Edge{U: u, V: v})
 		}
 	}
-	return b.Build()
+	return mustSorted(n, edges)
 }
 
 // Empty returns the edgeless graph on n vertices.
@@ -40,30 +96,32 @@ func Empty(n int) *Graph { return NewBuilder(n).Build() }
 // vertices [0, nl) on the left, [nl, nl+nr) on the right, each cross pair an
 // edge with probability p.
 func RandomBipartite(nl, nr int, p float64, rng *rand.Rand) *Graph {
-	b := NewBuilder(nl + nr)
+	edges := make([]Edge, 0, int(p*float64(nl)*float64(nr))+16)
 	for u := 0; u < nl; u++ {
 		for v := nl; v < nl+nr; v++ {
 			if rng.Float64() < p {
-				mustAdd(b, u, v)
+				edges = append(edges, Edge{U: u, V: v})
 			}
 		}
 	}
-	return b.Build()
+	return mustSorted(nl+nr, edges)
 }
 
 // Ring returns the n-cycle (triangle-free for n >= 4).
 func Ring(n int) *Graph {
-	b := NewBuilder(n)
-	for v := 0; v < n; v++ {
-		if n > 1 {
-			mustAdd(b, v, (v+1)%n)
-		}
+	if n < 2 {
+		return Empty(n)
 	}
 	if n == 2 {
-		// The loop above added {0,1} twice (idempotent); nothing to fix.
-		_ = n
+		return mustSorted(2, []Edge{{U: 0, V: 1}})
 	}
-	return b.Build()
+	// Canonical order: {0,1}, {0,n-1}, then {v,v+1} ascending.
+	edges := make([]Edge, 0, n)
+	edges = append(edges, Edge{U: 0, V: 1}, Edge{U: 0, V: n - 1})
+	for v := 1; v+1 < n; v++ {
+		edges = append(edges, Edge{U: v, V: v + 1})
+	}
+	return mustSorted(n, edges)
 }
 
 // RingWithChords returns an n-cycle plus k uniformly random chords. Chords
@@ -96,11 +154,11 @@ func BarabasiAlbert(n, k int, rng *rand.Rand) *Graph {
 	if k >= n {
 		return Complete(n)
 	}
-	b := NewBuilder(n)
+	edges := make([]Edge, 0, k*(k+1)/2+(n-k-1)*k)
 	// Seed clique on the first k+1 vertices.
 	for u := 0; u <= k && u < n; u++ {
 		for v := u + 1; v <= k && v < n; v++ {
-			mustAdd(b, u, v)
+			edges = append(edges, Edge{U: u, V: v})
 		}
 	}
 	// targets holds one entry per half-edge for degree-proportional sampling.
@@ -123,11 +181,21 @@ func BarabasiAlbert(n, k int, rng *rand.Rand) *Graph {
 			}
 		}
 		for _, t := range order {
-			mustAdd(b, v, t)
+			// Every sampled target predates v, so {t, v} is canonical.
+			edges = append(edges, Edge{U: t, V: v})
 			targets = append(targets, v, t)
 		}
 	}
-	return b.Build()
+	// Attachment edges arrive grouped by the new vertex, not globally
+	// sorted; one sort restores FromSortedEdges order. All edges are
+	// distinct: the clique predates k+1, and chosen dedupes per vertex.
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return cmp.Compare(a.U, b.U)
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+	return mustSorted(n, edges)
 }
 
 // PlantedTriangles returns a sparse graph consisting of t vertex-disjoint
@@ -296,4 +364,15 @@ func mustAdd(b *Builder, u, v int) {
 		// programming error, not a runtime condition.
 		panic(err)
 	}
+}
+
+// mustSorted finalizes a generator's canonically ordered edge emission.
+// Generators emit in-range, distinct, sorted edges by construction, so an
+// error here is a programming error, matching mustAdd's contract.
+func mustSorted(n int, edges []Edge) *Graph {
+	g, err := FromSortedEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }

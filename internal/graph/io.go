@@ -2,8 +2,10 @@ package graph
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -27,11 +29,18 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the format written by WriteEdgeList.
+// ReadEdgeList parses the format written by WriteEdgeList. Edges may appear
+// in any order; duplicate edge lines are idempotent (either orientation).
+// Ingest is streamed straight into an edge slice and finalized through
+// FromSortedEdges — no per-edge map entry — so large text files build in two
+// linear passes after one sort. Malformed lines, including a second "n"
+// header after edges have started, are reported with their line number.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
-	var b *Builder
+	n := -1
+	headerLine := 0
+	var edges []Edge
 	line := 0
 	for sc.Scan() {
 		line++
@@ -40,16 +49,20 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			continue
 		}
 		fields := strings.Fields(txt)
-		if b == nil {
+		if n < 0 {
 			if len(fields) != 2 || fields[0] != "n" {
 				return nil, fmt.Errorf("line %d: expected header \"n <count>\", got %q", line, txt)
 			}
-			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 0 {
+			c, err := strconv.Atoi(fields[1])
+			if err != nil || c < 0 {
 				return nil, fmt.Errorf("line %d: bad vertex count %q", line, fields[1])
 			}
-			b = NewBuilder(n)
+			n = c
+			headerLine = line
 			continue
+		}
+		if fields[0] == "n" {
+			return nil, fmt.Errorf("line %d: second \"n\" header (first at line %d)", line, headerLine)
 		}
 		if len(fields) != 2 {
 			return nil, fmt.Errorf("line %d: expected \"u v\", got %q", line, txt)
@@ -62,17 +75,30 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: bad endpoint %q", line, fields[1])
 		}
-		if err := b.AddEdge(u, v); err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
+		if u == v {
+			return nil, fmt.Errorf("line %d: self-loop at vertex %d", line, u)
 		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("line %d: edge {%d,%d} out of range [0,%d)", line, u, v, n)
+		}
+		if len(edges) >= MaxEdges {
+			return nil, fmt.Errorf("line %d: %w", line, ErrGraphTooLarge)
+		}
+		edges = append(edges, NewEdge(u, v))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if b == nil {
+	if n < 0 {
 		return nil, fmt.Errorf("empty input: missing \"n <count>\" header")
 	}
-	return b.Build(), nil
+	slices.SortFunc(edges, func(a, b Edge) int {
+		if a.U != b.U {
+			return cmp.Compare(a.U, b.U)
+		}
+		return cmp.Compare(a.V, b.V)
+	})
+	return FromSortedEdges(n, slices.Compact(edges))
 }
 
 // BFSDepths returns the hop distance from src to every vertex (-1 when

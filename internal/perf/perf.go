@@ -127,6 +127,8 @@ var derivedRatios = []struct{ Key, Num, Den string }{
 	{"speedup_oracle_list_par_vs_seq", "ListTriangles/seq", "ListTriangles/par"},
 	{"speedup_oracle_count_par_vs_seq", "CountTriangles/seq", "CountTriangles/par"},
 	{"speedup_sweep_par_vs_seq", "Sweep/seq", "Sweep/par"},
+	{"speedup_large_load_csrbin_vs_text", "LargeLoad/text", "LargeLoad/csrbin"},
+	{"speedup_large_sharded_vs_seq", "EngineStepLarge/seq", "EngineStepLarge/sharded"},
 }
 
 // ComputeDerived (re)fills Derived from the ratio definitions, for every

@@ -3,6 +3,9 @@ package perf
 import (
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/dynamic"
@@ -56,6 +59,12 @@ func Suites() []Suite {
 		{Name: "dynamic", Benches: []Bench{
 			{Name: "DynamicApply/incremental", Fn: DynamicApply(true)},
 			{Name: "DynamicApply/full", Fn: DynamicApply(false)},
+		}},
+		{Name: "large", Benches: []Bench{
+			{Name: "LargeLoad/text", Fn: LargeLoadText()},
+			{Name: "LargeLoad/csrbin", Fn: LargeLoadCSRBin()},
+			{Name: "EngineStepLarge/seq", Fn: EngineStepLarge(0, false)},
+			{Name: "EngineStepLarge/sharded", Fn: EngineStepLarge(largeShards, true), NoAllocGate: true},
 		}},
 	}
 }
@@ -197,6 +206,167 @@ func EngineStepSparse(sched sim.Scheduler) func(*testing.B) {
 		engineStep(b, g, func(id int) sim.Node {
 			return sparseNode{period: sparsePeriod, beacon: id < sparseBeacons}
 		}, sim.Config{Seed: 1, Scheduler: sched})
+	}
+}
+
+// --- Large-graph workloads ----------------------------------------------
+
+// The large suite is the million-node scale proof: one shared sparse
+// G(10^6, p) graph (expected mean degree largeMeanDegree, ~4M edges) is
+// generated once per process, written to a temp directory in both the text
+// edge-list and binary CSR formats, and every bench loads or steps that
+// graph. LargeLoad/{text,csrbin} measure the two ingest paths end to end —
+// the csrbin-vs-text ratio is the mmap pipeline's gate floor — and
+// EngineStepLarge/{seq,sharded} measure steady-state rounds over it, the
+// sharded engine's reason to exist.
+const (
+	largeN          = 1_000_000
+	largeMeanDegree = 8
+	// largeBeaconStride spreads the active nodes uniformly over the id
+	// space, so every contiguous shard owns an equal slice of the work.
+	largeBeaconStride = 50
+	largeShards       = 4
+)
+
+var largeState struct {
+	once     sync.Once
+	g        *graph.Graph
+	txt, bin string
+	err      error
+}
+
+// largeWorkload returns the shared million-node graph and its on-disk text
+// and csrbin forms, building them on first use.
+func largeWorkload(b *testing.B) (g *graph.Graph, txt, bin string) {
+	b.Helper()
+	largeState.once.Do(func() {
+		rng := rand.New(rand.NewSource(46))
+		largeState.g = graph.Gnp(largeN, float64(largeMeanDegree)/float64(largeN-1), rng)
+		dir, err := os.MkdirTemp("", "repro-perf-large")
+		if err != nil {
+			largeState.err = err
+			return
+		}
+		largeState.txt = filepath.Join(dir, "large.txt")
+		largeState.bin = filepath.Join(dir, "large.csrbin")
+		largeState.err = writeLargeFiles(largeState.g, largeState.txt, largeState.bin)
+	})
+	if largeState.err != nil {
+		b.Fatal(largeState.err)
+	}
+	return largeState.g, largeState.txt, largeState.bin
+}
+
+func writeLargeFiles(g *graph.Graph, txt, bin string) error {
+	f, err := os.Create(txt)
+	if err != nil {
+		return err
+	}
+	err = graph.WriteEdgeList(f, g)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	f, err = os.Create(bin)
+	if err != nil {
+		return err
+	}
+	err = graph.WriteCSRBinary(f, g)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LargeLoadText measures the text ingest path on the million-node file:
+// streamed parse, sort, and the map-free FromSortedEdges build.
+func LargeLoadText() func(*testing.B) {
+	return func(b *testing.B) {
+		g, txt, _ := largeWorkload(b)
+		m := g.M()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(txt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lg, err := graph.ReadEdgeList(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if lg.M() != m {
+				b.Fatalf("loaded m=%d, want %d", lg.M(), m)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+	}
+}
+
+// LargeLoadCSRBin measures the binary ingest path on the same graph:
+// OpenCSRBinary's mmap + cheap-validation load (which walks every offset
+// and target once, so the mapped pages are honestly touched).
+func LargeLoadCSRBin() func(*testing.B) {
+	return func(b *testing.B) {
+		g, _, bin := largeWorkload(b)
+		m := g.M()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cf, err := graph.OpenCSRBinary(bin)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lm := cf.Graph().M()
+			if err := cf.Close(); err != nil {
+				b.Fatal(err)
+			}
+			if lm != m {
+				b.Fatalf("loaded m=%d, want %d", lm, m)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+	}
+}
+
+// largeNode is the million-node engine workload: every largeBeaconStride-th
+// node unicasts one word to each neighbor every round; everyone else sleeps
+// and is woken only to consume deliveries. Per round that is ~(n/stride)·deg
+// sends and as many deliveries, all on per-channel unicast queues — the
+// traffic the sharded delivery/staging machinery owns (broadcast delivery
+// runs on the sequential spine and would hide it) — while most of the id
+// space stays idle as it would in the paper's sparse regime.
+type largeNode struct{ beacon bool }
+
+func (s largeNode) Init(ctx *sim.Context) {
+	if !s.beacon {
+		ctx.SleepUntil(math.MaxInt32)
+	}
+}
+
+func (s largeNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
+	if s.beacon {
+		w := sim.Word(ctx.ID())
+		for i := 0; i < ctx.CommDegree(); i++ {
+			ctx.Send(i, w)
+		}
+		return
+	}
+	ctx.SleepUntil(math.MaxInt32)
+}
+
+// EngineStepLarge measures steady-state rounds on the million-node graph
+// with the given shard count (0 = the unsharded engine).
+func EngineStepLarge(shards int, parallel bool) func(*testing.B) {
+	return func(b *testing.B) {
+		g, _, _ := largeWorkload(b)
+		engineStep(b, g, func(id int) sim.Node { return largeNode{beacon: id%largeBeaconStride == 0} },
+			sim.Config{Seed: 1, Shards: shards, Parallel: parallel})
 	}
 }
 

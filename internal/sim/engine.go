@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"slices"
 
 	"repro/internal/graph"
@@ -64,6 +63,19 @@ type Config struct {
 	// (the work-balanced sharding property tests drive 1/2/4/7 workers on
 	// one machine and assert bit-equality).
 	Workers int
+	// Shards statically partitions the nodes into that many contiguous
+	// engine shards (cut by degree weight), each owning its nodes' channel
+	// queues, inboxes and scheduling lists; cross-shard sends go through
+	// per-(sender-shard, receiver-shard) staging buffers drained in
+	// ascending shard order, so outputs, metrics, Round(), hook streams and
+	// cancellation prefixes are bit-identical to the single-shard engine for
+	// every shard count (see DESIGN.md, "Sharded engine & binary CSR").
+	// 0 and 1 select the single-shard engine. Sharding is independent of
+	// Parallel: with Parallel the shards run on the worker pool, without it
+	// they run sequentially in ascending shard order with identical results.
+	// Requires the activity scheduler (the default); under SchedulerDense
+	// the value is ignored.
+	Shards int
 	// MaxRounds aborts RunUntilQuiescent (default 1 << 22).
 	MaxRounds int
 	// Scheduler selects the round scheduler; the zero value is
@@ -84,6 +96,9 @@ func (c Config) Normalized() Config {
 	}
 	if c.MaxRounds <= 0 {
 		c.MaxRounds = 1 << 22
+	}
+	if c.Shards < 0 || c.Scheduler == SchedulerDense {
+		c.Shards = 0
 	}
 	return c
 }
@@ -244,6 +259,27 @@ type Engine struct {
 	// merge order — ascending — and consumed wholesale by the next step, it
 	// keeps busy nodes out of the map-and-heap wheel entirely.
 	nextReady []int32
+
+	// Sharded-engine state (Config.Shards > 1; see stepSharded in
+	// sharded.go). Nodes are cut into nshards contiguous ranges
+	// (shardBounds, len nshards+1) by degree weight; shardOf maps node to
+	// shard. shardRecv/shardSched are the per-shard splits of activeRecv and
+	// scheduled; staging[s*nshards+t] holds sender-shard s's activation
+	// records toward receiver-shard t; stagedBcast[s] holds shard s's newly
+	// broadcast-active senders; shardCtr carries per-shard counters across
+	// the fan-out barriers. All empty/nil when nshards <= 1.
+	nshards        int
+	shardBounds    []int32
+	shardOf        []int32
+	shardRecv      [][]int32
+	shardSched     [][]int32
+	staging        [][]stagedSend
+	stagedBcast    [][]int32
+	shardCtr       []deliveryShard
+	shardDeliverFn func(s int)
+	shardComputeFn func(s int)
+	shardMergeFn   func(s int)
+	shardDrainFn   func(s int)
 }
 
 // deliveryShard accumulates one worker's delivery-phase counters; padded to
@@ -334,7 +370,7 @@ func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
 			id:        v,
 			n:         n,
 			banw:      cfg.BandwidthWords,
-			rng:       rand.New(rand.NewSource(nodeSeed(cfg.Seed, v))),
+			rngSeed:   nodeSeed(cfg.Seed, v),
 			comm:      e.commTgts[e.commOffs[v]:e.commOffs[v+1]],
 			input:     inTgts[inOffs[v]:inOffs[v+1]],
 			bcastOnly: cfg.Mode == ModeBroadcast,
@@ -352,6 +388,9 @@ func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
 		WordBits:         WordBits(n),
 		PerNodeWordsRecv: make([]int64, n),
 		PerNodeWordsSent: make([]int64, n),
+	}
+	if cfg.Shards > 1 {
+		e.initShards()
 	}
 	return e, nil
 }
@@ -495,7 +534,15 @@ func (e *Engine) activatePending(v int) {
 			e.recvActive[to] = append(e.recvActive[to], eid)
 			if e.recvStamp[to] != e.epoch {
 				e.recvStamp[to] = e.epoch
-				e.activeRecv = append(e.activeRecv, to)
+				// Sharded engines keep the receiver list split per shard
+				// (this path runs only from initNodes there; steady-state
+				// sharded activation goes through the staging drain).
+				if e.nshards > 1 {
+					t := e.shardOf[to]
+					e.shardRecv[t] = append(e.shardRecv[t], to)
+				} else {
+					e.activeRecv = append(e.activeRecv, to)
+				}
 			}
 		}
 	}
@@ -541,6 +588,10 @@ func (e *Engine) deliverTo(v int32, shard *deliveryShard) {
 // ascending so the merge phase visits nodes in the same deterministic order
 // as the dense scan.
 func (e *Engine) step() {
+	if e.nshards > 1 {
+		e.stepSharded()
+		return
+	}
 	b := e.cfg.BandwidthWords
 	msgs0, words0 := e.metrics.MessagesDelivered, e.metrics.WordsDelivered
 	activity := e.cfg.Scheduler != SchedulerDense
@@ -841,6 +892,10 @@ func (e *Engine) Rebind(input *graph.Graph, nodes []Node, seed int64) error {
 		ctx.comm = e.commTgts[e.commOffs[v]:e.commOffs[v+1]]
 		ctx.input = inTgts[inOffs[v]:inOffs[v+1]]
 	}
+	if e.cfg.Shards > 1 {
+		// Degree weights changed with the topology; recut the shard plan.
+		e.initShards()
+	}
 	return nil
 }
 
@@ -857,6 +912,22 @@ func (e *Engine) clearRun(nodes []Node, seed int64) {
 		e.recvActive[v] = e.recvActive[v][:0]
 	}
 	e.activeRecv = e.activeRecv[:0]
+	for s := range e.shardRecv {
+		for _, v := range e.shardRecv[s] {
+			for _, eid := range e.recvActive[v] {
+				q := &e.queues[eid]
+				q.buf = q.buf[:0]
+				q.head = 0
+			}
+			e.recvActive[v] = e.recvActive[v][:0]
+		}
+		e.shardRecv[s] = e.shardRecv[s][:0]
+		e.shardSched[s] = e.shardSched[s][:0]
+		e.stagedBcast[s] = e.stagedBcast[s][:0]
+	}
+	for i := range e.staging {
+		e.staging[i] = e.staging[i][:0]
+	}
 	clear(e.recvQueued)
 	e.queuedWords = 0
 	for _, u := range e.bcastActive {
@@ -870,7 +941,10 @@ func (e *Engine) clearRun(nodes []Node, seed int64) {
 	e.nodes = nodes
 	e.cfg.Seed = seed
 	for v, ctx := range e.ctxs {
-		ctx.rng.Seed(nodeSeed(seed, v))
+		ctx.rngSeed = nodeSeed(seed, v)
+		if ctx.rng != nil {
+			ctx.rng.Seed(ctx.rngSeed)
+		}
 		ctx.pending = ctx.pending[:0]
 		ctx.sendBuf = ctx.sendBuf[:0]
 		ctx.outputs = ctx.outputs[:0]
@@ -912,7 +986,7 @@ func (e *Engine) clearRun(nodes []Node, seed int64) {
 func (e *Engine) nextEventRound() int {
 	// nextReady nodes are due at the next step — the round counter has
 	// already advanced past the merge that recorded them.
-	if len(e.nextReady) > 0 || len(e.activeRecv) > 0 || len(e.bcastActive) > 0 {
+	if len(e.nextReady) > 0 || e.hasActiveRecv() || len(e.bcastActive) > 0 {
 		return e.round
 	}
 	if r, ok := e.wheel.min(); ok {
@@ -1028,7 +1102,7 @@ func (e *Engine) RunUntilQuiescentContext(ctx context.Context) error {
 // O(1); the dense reference keeps the original O(n) context scan so the two
 // cross-check each other in the differential tests.
 func (e *Engine) quiescent() bool {
-	if len(e.activeRecv) > 0 || len(e.bcastActive) > 0 {
+	if e.hasActiveRecv() || len(e.bcastActive) > 0 {
 		return false
 	}
 	if e.cfg.Scheduler == SchedulerDense {
@@ -1042,6 +1116,21 @@ func (e *Engine) quiescent() bool {
 	return e.notDone == 0
 }
 
+// hasActiveRecv reports whether any receiver has an active in-edge,
+// whichever representation — the global list or the per-shard split — the
+// engine maintains.
+func (e *Engine) hasActiveRecv() bool {
+	if e.nshards > 1 {
+		for s := range e.shardRecv {
+			if len(e.shardRecv[s]) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	return len(e.activeRecv) > 0
+}
+
 // PendingWords reports the words still queued on all channels (0 once all
 // phases drained — asserted by tests at phase boundaries).
 func (e *Engine) PendingWords() int {
@@ -1049,6 +1138,13 @@ func (e *Engine) PendingWords() int {
 	for _, v := range e.activeRecv {
 		for _, eid := range e.recvActive[v] {
 			total += e.queues[eid].pending()
+		}
+	}
+	for s := range e.shardRecv {
+		for _, v := range e.shardRecv[s] {
+			for _, eid := range e.recvActive[v] {
+				total += e.queues[eid].pending()
+			}
 		}
 	}
 	for _, u := range e.bcastActive {

@@ -56,7 +56,8 @@ type Context struct {
 	id        int
 	n         int
 	banw      int
-	rng       *rand.Rand
+	rng       *rand.Rand // built lazily from rngSeed on first RNG() call
+	rngSeed   int64
 	comm      []int32 // communication neighbors (sorted); aliases the CSR slab
 	input     []int32 // input-graph neighbors (sorted); == comm in CONGEST mode
 	pending   []pendingSend
@@ -87,8 +88,17 @@ func (c *Context) N() int { return c.n }
 // Bandwidth returns B, the words deliverable per directed edge per round.
 func (c *Context) Bandwidth() int { return c.banw }
 
-// RNG returns this node's private random stream.
-func (c *Context) RNG() *rand.Rand { return c.rng }
+// RNG returns this node's private random stream. The generator is
+// materialized on first use: a rand.Rand costs ~5 KB of state, which at
+// n=10^6 would be ~5 GB if built eagerly, while most algorithms touch the
+// RNG on only a few nodes (or none). Lazy construction from the recorded
+// seed yields the exact same stream as an eagerly built generator.
+func (c *Context) RNG() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.rngSeed))
+	}
+	return c.rng
+}
 
 // CommNeighbors returns the sorted communication neighbors. In the CONGEST
 // model these are the input-graph neighbors; in the CONGEST clique they are

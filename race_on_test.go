@@ -1,0 +1,9 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether this test binary was built with -race; the
+// million-node scale tests skip under it (the detector multiplies their
+// memory and runtime without adding coverage the small-graph equivalence
+// tests don't already have under -race).
+const raceEnabled = true
