@@ -406,6 +406,17 @@ func BenchmarkEngineStepSparse(b *testing.B) {
 	b.Run("activity", perf.EngineStepSparse(sim.SchedulerActivity))
 }
 
+// BenchmarkCheckpoint — the checkpoint subsystem's cost model on the
+// sparse workload: full-state serialization (save), the resume path
+// (fresh engine + restore) and the coldstart it competes with (fresh
+// engine + re-run to the checkpoint round). The restore-vs-coldstart
+// ratio is the `checkpoint_restore_vs_coldstart` floor in BENCH_engine.json.
+func BenchmarkCheckpoint(b *testing.B) {
+	b.Run("save", perf.CheckpointSave())
+	b.Run("restore", perf.CheckpointRestore())
+	b.Run("coldstart", perf.CheckpointColdstart())
+}
+
 // BenchmarkEngineStepLarge — the million-node scale proof (the `large`
 // suite in BENCH_engine.json): steady-state rounds over a shared sparse
 // G(10^6, p) graph, unsharded vs the 4-shard engine. Expensive — the

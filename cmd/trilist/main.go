@@ -10,6 +10,12 @@
 //	trilist -gen gnp -n 48 -p 0.5 -algo dolev
 //	trilist -load graph.txt -algo twohop -show 10
 //	trilist -gen gnm -n 128 -k 512 -algo churn -churn window -epochs 8
+//
+// Checkpointing (resumable runs and time-travel replay):
+//
+//	trilist -gen gnp -n 256 -p 0.1 -algo list -checkpoint every=8,dir=/tmp/ck -cancel-at 20
+//	trilist -gen gnp -n 256 -p 0.1 -algo list -checkpoint every=8,dir=/tmp/ck -resume
+//	trilist -gen gnp -n 256 -p 0.1 -algo list -checkpoint every=8,dir=/tmp/ck -replay-round 13
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/congest"
@@ -48,6 +55,10 @@ func run(args []string) error {
 		churnW   = fs.String("churn", "flip", "churn workload (algo churn): window|flip|growth")
 		batch    = fs.Int("batch", 0, "churn batch size (0 = n)")
 		epochs   = fs.Int("epochs", 0, "churn epochs (0 = 4)")
+		ckpt     = fs.String("checkpoint", "", "checkpoint config \"every=N,dir=PATH\" (dir required; every 0 = only on cancellation)")
+		resume   = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint dir (cold start when none)")
+		replayR  = fs.Int("replay-round", -1, "replay this round's observation stream from the nearest checkpoint instead of running")
+		cancelAt = fs.Int("cancel-at", 0, "cancel the run after this many executed rounds (0 = never); pairs with -checkpoint for kill/resume drills")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,13 +79,30 @@ func run(args []string) error {
 	if *algo == "churn" {
 		spec.Churn = &congest.ChurnSpec{Workload: *churnW, BatchSize: *batch, Epochs: *epochs}
 	}
+	cs, err := parseCheckpointFlag(*ckpt, *resume)
+	if err != nil {
+		return err
+	}
+	spec.Checkpoint = cs
+	if *replayR >= 0 {
+		return replay(spec, *replayR, *workers)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := congest.Run(ctx, spec, congest.WithOracleWorkers(*workers))
+	var obs congest.Observer
+	if *cancelAt > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		// The prefix contract: cancelling inside OnRound(k) stops after
+		// exactly k+1 rounds, so this executes exactly cancelAt rounds.
+		obs = &cancelAtObserver{at: *cancelAt, cancel: cancel}
+	}
+	res, err := congest.RunObserved(ctx, spec, obs, congest.WithOracleWorkers(*workers))
 	if err != nil && !res.Meta.Cancelled {
 		return err
 	}
@@ -93,6 +121,9 @@ func run(args []string) error {
 	if res.Meta.Cancelled {
 		fmt.Printf("run:   CANCELLED after %d of %d rounds (deterministic prefix follows)\n",
 			res.Meta.ExecutedRounds, res.Meta.ScheduledRounds)
+	}
+	if ck := res.Meta.Checkpoint; ck != nil {
+		fmt.Printf("ckpt:  dir=%s every=%d spec=%s\n", ck.Dir, ck.Every, ck.SpecHash)
 	}
 	if res.Churn != nil {
 		fmt.Printf("churn: workload=%s epochs=%d born=%d died=%d finalCount=%d\n",
@@ -128,3 +159,79 @@ func run(args []string) error {
 	}
 	return nil
 }
+
+// parseCheckpointFlag parses "-checkpoint every=N,dir=PATH".
+func parseCheckpointFlag(s string, resume bool) (*congest.CheckpointSpec, error) {
+	if s == "" {
+		if resume {
+			return nil, fmt.Errorf("-resume requires -checkpoint")
+		}
+		return nil, nil
+	}
+	cs := &congest.CheckpointSpec{Resume: resume}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -checkpoint entry %q (want key=value)", kv)
+		}
+		switch k {
+		case "every":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad -checkpoint every=%q: %v", v, err)
+			}
+			cs.Every = n
+		case "dir":
+			cs.Dir = v
+		default:
+			return nil, fmt.Errorf("unknown -checkpoint key %q (want every, dir)", k)
+		}
+	}
+	return cs, nil
+}
+
+// replay re-derives one round's observation stream from the nearest
+// checkpoint and prints it.
+func replay(spec congest.JobSpec, round, workers int) error {
+	if spec.Checkpoint == nil {
+		return fmt.Errorf("-replay-round requires -checkpoint")
+	}
+	sess := congest.NewSession(congest.WithOracleWorkers(workers))
+	info, err := sess.Replay(spec, round, round, replayPrinter{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay: round=%d anchor=%d replayedRounds=%d\n",
+		round, info.CheckpointRound, info.ReplayedRounds)
+	return nil
+}
+
+// replayPrinter prints the replayed window's observation stream.
+type replayPrinter struct{}
+
+func (replayPrinter) OnSegment(congest.SegmentInfo) {}
+
+func (replayPrinter) OnRound(round int, d congest.RoundDelta) {
+	fmt.Printf("round %d: messages=%d words=%d moved=%v\n", round, d.Messages, d.Words, d.Moved)
+}
+
+func (replayPrinter) OnTriangle(node int, t congest.Triangle) {
+	fmt.Printf("tri:   node=%d {%d,%d,%d}\n", node, t[0], t[1], t[2])
+}
+
+// cancelAtObserver cancels the run's context during the target round, so
+// the engine stops at that round's boundary (the deterministic prefix).
+type cancelAtObserver struct {
+	at     int
+	cancel context.CancelFunc
+}
+
+func (o *cancelAtObserver) OnSegment(congest.SegmentInfo) {}
+
+func (o *cancelAtObserver) OnRound(round int, d congest.RoundDelta) {
+	if round == o.at-1 {
+		o.cancel()
+	}
+}
+
+func (o *cancelAtObserver) OnTriangle(int, congest.Triangle) {}

@@ -10,11 +10,13 @@
 //	GET    /v1/algorithms    registered algorithm names
 //	GET    /v1/generators    registered graph generator names
 //	GET    /v1/experiments   registered experiment sweeps
-//	POST   /v1/run           run one JobSpec synchronously, return its Result
-//	POST   /v1/jobs          submit one JobSpec asynchronously, return {id}
-//	GET    /v1/jobs          list submitted jobs
-//	GET    /v1/jobs/{id}     one job's status plus Result once done
-//	DELETE /v1/jobs/{id}     cancel a job (its prefix result stays readable)
+//	POST   /v1/run              run one JobSpec synchronously, return its Result
+//	POST   /v1/jobs             submit one JobSpec asynchronously, return {id}
+//	GET    /v1/jobs             list submitted jobs
+//	GET    /v1/jobs/{id}        one job's status plus Result once done
+//	POST   /v1/jobs/{id}/cancel cancel a job (its prefix result stays readable;
+//	                            checkpointing jobs persist their boundary for resume)
+//	DELETE /v1/jobs/{id}        delete a job from history and reap its checkpoint files
 //
 // Job specs are decoded strictly: unknown fields are a 400, not a silent
 // default. Results are bit-identical to single-job runs of the same spec.
@@ -177,7 +179,7 @@ func newMux(svc *congest.Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, viewOf(j))
 	})
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := svc.Job(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, errors.New("no such job"))
@@ -185,6 +187,18 @@ func newMux(svc *congest.Service) http.Handler {
 		}
 		j.Cancel()
 		<-j.Done()
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		if err := svc.Delete(j.ID()); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, viewOf(j))
 	})
 	return mux

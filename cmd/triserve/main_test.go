@@ -166,7 +166,8 @@ func TestServeRejectsBadSpecs(t *testing.T) {
 	}
 }
 
-// TestServeCancelAndList: DELETE cancels a job and the listing shows it.
+// TestServeCancelAndList: POST /cancel stops a job but keeps it listed;
+// DELETE removes it from the history entirely.
 func TestServeCancelAndList(t *testing.T) {
 	srv, _ := startServer(t, congest.WithWorkers(1))
 	// A slow job plus a queued one, then cancel the queued one.
@@ -182,18 +183,16 @@ func TestServeCancelAndList(t *testing.T) {
 	if err := json.Unmarshal(body2, &j2); err != nil {
 		t.Fatal(err)
 	}
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+j2.ID, nil)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
+	resp, body := postJSON(t, srv.URL+"/v1/jobs/"+j2.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d (%s)", resp.StatusCode, body)
 	}
 	var view struct {
 		Status congest.JobStatus `json:"status"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+	if err := json.Unmarshal(body, &view); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
 	if view.Status != congest.JobCancelled && view.Status != congest.JobDone {
 		t.Fatalf("cancelled job status %s", view.Status)
 	}
@@ -208,7 +207,29 @@ func TestServeCancelAndList(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(views) != 2 {
-		t.Fatalf("listing has %d jobs", len(views))
+		t.Fatalf("listing has %d jobs after cancel", len(views))
+	}
+
+	// DELETE truly forgets the job.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+j2.ID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", delResp.StatusCode)
+	}
+	if resp, _ := getJSON(t, srv.URL+"/v1/jobs/"+j2.ID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted job still answers: %d", resp.StatusCode)
+	}
+	_, listing = getJSON(t, srv.URL+"/v1/jobs")
+	views = nil
+	if err := json.Unmarshal(listing, &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("listing has %d jobs after delete", len(views))
 	}
 	if resp, _ := getJSON(t, srv.URL+"/v1/jobs/nope"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("missing job status %d", resp.StatusCode)

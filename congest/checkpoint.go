@@ -1,0 +1,218 @@
+package congest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// ErrNotCheckpointable rejects checkpoint specs for algorithm families
+// whose node state cannot be snapshotted (the counting job's aggregation
+// nodes carry callback closures; churn is not an engine run at all).
+var ErrNotCheckpointable = errors.New("congest: algorithm does not support checkpointing")
+
+// CheckpointSpec configures periodic engine snapshots for a job, and
+// optionally resuming from the latest one.
+type CheckpointSpec struct {
+	// Every is the snapshot cadence in rounds. Zero takes no periodic
+	// snapshots but still persists one at a cancellation boundary, which
+	// is exactly what job preemption needs.
+	Every int `json:"every,omitempty"`
+	// Dir is the directory checkpoint files live in. Required.
+	Dir string `json:"dir"`
+	// Resume starts the job from the latest compatible checkpoint in Dir
+	// when one exists (cold start otherwise). The resumed result is
+	// byte-identical to running straight through.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// CheckpointMeta is the checkpoint provenance a Result carries: where the
+// job's snapshots live and under which spec identity. Deliberately free of
+// run history (resume round etc.), so a resumed job's Result stays
+// byte-identical to the uninterrupted one.
+type CheckpointMeta struct {
+	Every    int    `json:"every,omitempty"`
+	Dir      string `json:"dir"`
+	SpecHash string `json:"specHash"`
+}
+
+// SpecHash returns the job's checkpoint identity: an FNV-64a over the
+// canonical spec JSON with the placement fields (Parallel, Shards) and the
+// checkpoint config itself zeroed. Two specs with the same hash produce
+// bit-identical runs, so their checkpoints are interchangeable; placement
+// may legally differ between the saving and the resuming run.
+func (s JobSpec) SpecHash() string {
+	c := s
+	c.Parallel = false
+	c.Shards = 0
+	c.Checkpoint = nil
+	b, err := json.Marshal(c)
+	if err != nil { // no spec field is unmarshalable; defensive only
+		panic(fmt.Sprintf("congest: spec hash: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// graphHashOf fingerprints the materialized graph (FNV-64a over n, m and
+// the CSR slabs), so a checkpoint refuses to resume against a different
+// graph even when the spec hash matches (e.g. a changed file behind the
+// same path).
+func graphHashOf(g *graph.Graph) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	offs, tgts := g.CSR()
+	for _, o := range offs {
+		put(uint64(uint32(o)))
+	}
+	for _, t := range tgts {
+		put(uint64(uint32(t)))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ckptMetaOf builds the provenance envelope for a job's checkpoints.
+func ckptMetaOf(spec JobSpec, g *graph.Graph, cfg sim.Config) checkpoint.Meta {
+	return checkpoint.Meta{
+		SpecHash:  spec.SpecHash(),
+		GraphHash: graphHashOf(g),
+		Algo:      spec.Algo,
+		Seed:      spec.Seed,
+		N:         g.N(),
+		M:         g.M(),
+		Bandwidth: spec.bandwidth(),
+		Mode:      int(cfg.Mode),
+		Scheduler: int(cfg.Scheduler),
+		Shards:    cfg.Shards,
+		Parallel:  cfg.Parallel,
+	}
+}
+
+// checkpointPlanFor translates a job's CheckpointSpec into the core run
+// plan: a Save closure wrapping payloads in provenance, and — for resume
+// jobs — the latest compatible checkpoint as the starting point. Returns
+// (nil, nil, nil) when the spec doesn't checkpoint.
+func checkpointPlanFor(spec JobSpec, g *graph.Graph, cfg sim.Config) (*CheckpointMeta, *core.CheckpointPlan, error) {
+	cs := spec.Checkpoint
+	if cs == nil {
+		return nil, nil, nil
+	}
+	meta := ckptMetaOf(spec, g, cfg)
+	plan := &core.CheckpointPlan{
+		Every: cs.Every,
+		Save: func(round int, payload []byte) error {
+			m := meta
+			m.Round = round
+			_, err := checkpoint.Save(cs.Dir, checkpoint.New(m, payload))
+			return err
+		},
+	}
+	if cs.Resume {
+		ck, _, err := checkpoint.Latest(cs.Dir, meta.SpecHash)
+		switch {
+		case errors.Is(err, checkpoint.ErrNotFound):
+			// Nothing to resume from: cold start.
+		case err != nil:
+			return nil, nil, err
+		default:
+			if err := ck.Meta.CompatibleWith(meta); err != nil {
+				return nil, nil, err
+			}
+			plan.Resume = &core.ResumePoint{Round: ck.Meta.Round, Payload: ck.Payload}
+		}
+	}
+	return &CheckpointMeta{Every: cs.Every, Dir: cs.Dir, SpecHash: meta.SpecHash}, plan, nil
+}
+
+// ReplayInfo summarizes a time-travel replay: which checkpoint anchored
+// it and how much work it actually re-ran.
+type ReplayInfo struct {
+	// CheckpointRound is the round of the anchoring checkpoint (the
+	// nearest one at or below the window start).
+	CheckpointRound int `json:"checkpointRound"`
+	// From and To are the observed window, inclusive.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// ReplayedRounds is the rounds executed, including the silent
+	// catch-up between the checkpoint and the window.
+	ReplayedRounds int `json:"replayedRounds"`
+}
+
+// Replay re-derives the observation stream of rounds [from, to] of a
+// checkpointed job from the nearest checkpoint at or below from, without
+// re-running earlier rounds. The spec must carry the same Checkpoint
+// config the original run used; the delivered stream is bit-identical to
+// the corresponding window of the straight-through run.
+func (s *Session) Replay(spec JobSpec, from, to int, obs Observer) (ReplayInfo, error) {
+	if err := spec.Validate(); err != nil {
+		return ReplayInfo{}, err
+	}
+	if spec.Checkpoint == nil {
+		return ReplayInfo{}, fmt.Errorf("congest: replay needs a checkpoint spec")
+	}
+	sg, err := s.graphFor(spec.Graph)
+	if err != nil {
+		return ReplayInfo{}, err
+	}
+	g := sg.g
+	cfg := sim.Config{Mode: modeFor(spec.Algo), BandwidthWords: spec.bandwidth(), Seed: spec.Seed,
+		Parallel: spec.Parallel, Shards: spec.Shards}
+	meta := ckptMetaOf(spec, g, cfg)
+	ck, _, err := checkpoint.Nearest(spec.Checkpoint.Dir, meta.SpecHash, from)
+	if err != nil {
+		return ReplayInfo{}, err
+	}
+	if err := ck.Meta.CompatibleWith(meta); err != nil {
+		return ReplayInfo{}, err
+	}
+	ab, err := buildAlgo(spec, g)
+	if err != nil {
+		return ReplayInfo{}, err
+	}
+	nodes := make([]sim.Node, g.N())
+	for v := range nodes {
+		if ab.segs != nil {
+			nodes[v] = core.NewSequenceNode(ab.segs, v)
+		} else {
+			nodes[v] = ab.mk(v)
+		}
+	}
+	eng, err := sim.NewEngine(g, nodes, cfg)
+	if err != nil {
+		return ReplayInfo{}, err
+	}
+	var hooks sim.Hooks
+	if obs != nil {
+		hooks = sim.Hooks{
+			Round: func(round int, d sim.RoundDelta) {
+				obs.OnRound(round, RoundDelta{Messages: d.Messages, Words: d.Words, Moved: d.Moved})
+			},
+			Triangle: func(node int, t graph.Triangle) {
+				obs.OnTriangle(node, Triangle{t.A, t.B, t.C})
+			},
+		}
+	}
+	if err := checkpoint.Replay(eng, ck, from, to, hooks); err != nil {
+		return ReplayInfo{}, err
+	}
+	return ReplayInfo{
+		CheckpointRound: ck.Meta.Round,
+		From:            from,
+		To:              to,
+		ReplayedRounds:  eng.Round() - ck.Meta.Round,
+	}, nil
+}

@@ -1,0 +1,406 @@
+package congest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"slices"
+	"sync"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// ckptSpec is gnpSpec with checkpointing into dir.
+func ckptSpec(algo, dir string, every int) JobSpec {
+	s := gnpSpec(algo)
+	s.Checkpoint = &CheckpointSpec{Every: every, Dir: dir}
+	return s
+}
+
+// TestCheckpointSpecValidate pins the checkpointability rules: algorithm
+// families whose state cannot be snapshotted are rejected at validation,
+// as are shapeless checkpoint configs.
+func TestCheckpointSpecValidate(t *testing.T) {
+	for _, algo := range []string{"count", "churn"} {
+		s := gnpSpec(algo)
+		if algo == "churn" {
+			s.Churn = &ChurnSpec{Workload: "flip", BatchSize: 8, Epochs: 3}
+		}
+		s.Checkpoint = &CheckpointSpec{Every: 4, Dir: t.TempDir()}
+		if err := s.Validate(); !errors.Is(err, ErrNotCheckpointable) {
+			t.Errorf("%s: err %v, want ErrNotCheckpointable", algo, err)
+		}
+	}
+	noDir := gnpSpec("list")
+	noDir.Checkpoint = &CheckpointSpec{Every: 4}
+	if err := noDir.Validate(); err == nil {
+		t.Error("checkpoint spec without a directory validated")
+	}
+	negative := gnpSpec("list")
+	negative.Checkpoint = &CheckpointSpec{Every: -1, Dir: t.TempDir()}
+	if err := negative.Validate(); err == nil {
+		t.Error("negative checkpoint cadence validated")
+	}
+}
+
+// TestSpecHashPlacementInvariance: the checkpoint identity ignores
+// placement (Parallel, Shards) and the checkpoint config itself — those may
+// legally differ between the saving and the resuming run — but pins
+// everything that changes the bits of the run.
+func TestSpecHashPlacementInvariance(t *testing.T) {
+	base := gnpSpec("list")
+	h := base.SpecHash()
+	moved := base
+	moved.Parallel = true
+	moved.Shards = 4
+	moved.Checkpoint = &CheckpointSpec{Every: 8, Dir: "/elsewhere", Resume: true}
+	if moved.SpecHash() != h {
+		t.Error("placement/checkpoint fields changed the spec hash")
+	}
+	for name, mut := range map[string]func(*JobSpec){
+		"seed":      func(s *JobSpec) { s.Seed++ },
+		"algo":      func(s *JobSpec) { s.Algo = "find" },
+		"bandwidth": func(s *JobSpec) { s.Bandwidth = 4 },
+		"graph":     func(s *JobSpec) { s.Graph.Seed++ },
+	} {
+		s := base
+		mut(&s)
+		if s.SpecHash() == h {
+			t.Errorf("%s change did not change the spec hash", name)
+		}
+	}
+}
+
+// cancelRun runs spec until exactly cut rounds executed, cancelling at the
+// round boundary (cut 0 cancels before the first round). It returns the
+// prefix recorder.
+func cancelRun(t *testing.T, spec JobSpec, cut int) *recorder {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &recorder{}
+	if cut == 0 {
+		cancel()
+	} else {
+		rec.onRound = func(round int) {
+			if round == cut-1 {
+				cancel()
+			}
+		}
+	}
+	res, err := RunObserved(ctx, spec, rec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cut %d: err %v", cut, err)
+	}
+	if res.Meta.ExecutedRounds != cut || !res.Meta.Cancelled {
+		t.Fatalf("cut %d: executed %d rounds, cancelled=%v", cut, res.Meta.ExecutedRounds, res.Meta.Cancelled)
+	}
+	return rec
+}
+
+// TestCutAndResumeAllAlgos is the subsystem's correctness spine: for every
+// snapshottable algorithm family, a run cut at round k and resumed from its
+// checkpoint produces a Result deeply equal to the straight-through run,
+// and the resumed observation stream is exactly the suffix the cancelled
+// run did not deliver.
+func TestCutAndResumeAllAlgos(t *testing.T) {
+	algos := []string{"list", "find", "a1", "a2", "a3", "axr", "tester", "dolev", "bcast-twohop"}
+	for _, algo := range algos {
+		t.Run(algo, func(t *testing.T) {
+			straight := ckptSpec(algo, t.TempDir(), 4)
+			full := &recorder{}
+			want, err := RunObserved(context.Background(), straight, full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := want.Meta.ExecutedRounds
+			if total < 4 {
+				t.Fatalf("run too short to cut: %d rounds", total)
+			}
+			cuts := []int{0, 1, total / 3, total / 2, total - 2}
+			slices.Sort(cuts)
+			cuts = slices.Compact(cuts)
+			for _, cut := range cuts {
+				dir := t.TempDir()
+				spec := ckptSpec(algo, dir, 4)
+				prefix := cancelRun(t, spec, cut)
+
+				spec.Checkpoint.Resume = true
+				suffix := &recorder{}
+				got, err := RunObserved(context.Background(), spec, suffix)
+				if err != nil {
+					t.Fatalf("cut %d: resume: %v", cut, err)
+				}
+				// The cancellation boundary is always persisted, so the resume
+				// continues at exactly cut; its stream is the missing suffix.
+				if !slices.Equal(suffix.rounds, full.rounds[cut:]) {
+					t.Fatalf("cut %d: resumed round deltas are not the straight run's suffix", cut)
+				}
+				joined := append(slices.Clone(prefix.triangles), suffix.triangles...)
+				if !slices.Equal(joined, full.triangles) {
+					t.Fatalf("cut %d: prefix+suffix triangle stream (%d+%d) differs from straight run (%d)",
+						cut, len(prefix.triangles), len(suffix.triangles), len(full.triangles))
+				}
+				// The materialized Result matches bit for bit once the only
+				// declared difference — the checkpoint directory — is dropped.
+				got.Meta.Checkpoint.Dir = want.Meta.Checkpoint.Dir
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("cut %d: resumed result diverges\ngot:  %+v\nwant: %+v", cut, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCutAndResumePlacementMigration: a checkpoint written by one engine
+// layout restores under any other — sharded+parallel to unsharded serial
+// and back — with the straight-through Result.
+func TestCutAndResumePlacementMigration(t *testing.T) {
+	want, err := Run(context.Background(), ckptSpec("list", t.TempDir(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := want.Meta.ExecutedRounds / 3
+	layouts := []struct {
+		name                 string
+		shards0, shards1     int
+		parallel0, parallel1 bool
+	}{
+		{"sharded-to-serial", 4, 0, true, false},
+		{"serial-to-sharded", 0, 4, false, true},
+	}
+	for _, lay := range layouts {
+		t.Run(lay.name, func(t *testing.T) {
+			dir := t.TempDir()
+			saver := ckptSpec("list", dir, 4)
+			saver.Shards, saver.Parallel = lay.shards0, lay.parallel0
+			cancelRun(t, saver, cut)
+
+			resumer := ckptSpec("list", dir, 4)
+			resumer.Shards, resumer.Parallel = lay.shards1, lay.parallel1
+			resumer.Checkpoint.Resume = true
+			got, err := Run(context.Background(), resumer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Engine layout is declared, not behavioral: normalize it and the
+			// directory, everything else must match bit for bit.
+			got.Meta.Parallel = want.Meta.Parallel
+			got.Meta.Checkpoint.Dir = want.Meta.Checkpoint.Dir
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("migrated resume diverges\ngot:  %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// evt is one observation event; evtRec records the interleaved stream with
+// each triangle attributed to the round it surfaced in (triangle events
+// arrive while a round is executing, before that round's OnRound).
+type evt struct {
+	kind  string
+	round int
+	node  int
+	tri   Triangle
+	d     RoundDelta
+}
+
+type evtRec struct {
+	base   int // round number the stream starts at
+	rounds int
+	events []evt
+}
+
+func (r *evtRec) OnSegment(SegmentInfo) {}
+func (r *evtRec) OnRound(round int, d RoundDelta) {
+	r.rounds++
+	r.events = append(r.events, evt{kind: "round", round: round, d: d})
+}
+func (r *evtRec) OnTriangle(node int, t Triangle) {
+	r.events = append(r.events, evt{kind: "tri", round: r.base + r.rounds, node: node, tri: t})
+}
+
+// window returns the events of rounds [from, to].
+func (r *evtRec) window(from, to int) []evt {
+	var out []evt
+	for _, e := range r.events {
+		if e.round >= from && e.round <= to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestSessionReplayWindow: Replay re-derives the exact observation stream
+// of any round window from the nearest checkpoint, without touching rounds
+// before the anchor, and fails closed on bad windows and identities.
+func TestSessionReplayWindow(t *testing.T) {
+	dir := t.TempDir()
+	spec := ckptSpec("find", dir, 4)
+	full := &evtRec{}
+	res, err := RunObserved(context.Background(), spec, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Meta.ExecutedRounds
+	if total < 12 {
+		t.Fatalf("run too short: %d rounds", total)
+	}
+	from, to := total/3, total/2
+	sess := NewSession()
+	rep := &evtRec{base: from}
+	info, err := sess.Replay(spec, from, to, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.From != from || info.To != to || info.CheckpointRound > from {
+		t.Fatalf("replay info %+v for window [%d, %d]", info, from, to)
+	}
+	if info.ReplayedRounds >= total {
+		t.Fatalf("replay executed %d rounds, straight run only had %d", info.ReplayedRounds, total)
+	}
+	if want := full.window(from, to); !reflect.DeepEqual(rep.events, want) {
+		t.Fatalf("replayed stream (%d events) differs from straight window (%d events)",
+			len(rep.events), len(want))
+	}
+
+	// Bad windows and identities fail closed.
+	if _, err := sess.Replay(spec, to, from, nil); err == nil {
+		t.Error("empty window accepted")
+	}
+	plain := gnpSpec("find")
+	if _, err := sess.Replay(plain, from, to, nil); err == nil {
+		t.Error("replay without a checkpoint spec accepted")
+	}
+	cold := ckptSpec("find", t.TempDir(), 4)
+	if _, err := sess.Replay(cold, from, to, nil); !errors.Is(err, checkpoint.ErrNotFound) {
+		t.Errorf("replay against an empty directory: err %v", err)
+	}
+	other := spec
+	other.Seed++
+	if _, err := sess.Replay(other, from, to, nil); !errors.Is(err, checkpoint.ErrNotFound) {
+		t.Errorf("replay under a different spec identity: err %v", err)
+	}
+}
+
+// cancelJobAt cancels job j at the round boundary after cut executed
+// rounds, synchronizing the handle hand-off with the worker goroutine.
+type cancelJobAt struct {
+	recorder
+	jc   chan *Job
+	once sync.Once
+}
+
+func newCancelJobAt(cut int) *cancelJobAt {
+	c := &cancelJobAt{jc: make(chan *Job, 1)}
+	c.onRound = func(round int) {
+		if round == cut-1 {
+			c.once.Do(func() { (<-c.jc).Cancel() })
+		}
+	}
+	return c
+}
+
+// TestServiceCheckpointResumeByteIdentical is the preemption contract: a
+// service job cancelled mid-run and resubmitted with Resume returns a
+// Result byte-identical (as JSON) to the straight-through run.
+func TestServiceCheckpointResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := ckptSpec("find", dir, 2)
+	svc := NewService()
+	defer svc.Close()
+
+	obs := newCancelJobAt(5)
+	j, err := svc.SubmitObserved(spec, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.jc <- j
+	if _, err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("preempted job err %v", err)
+	}
+	if j.Status() != JobCancelled {
+		t.Fatalf("preempted job status %s", j.Status())
+	}
+
+	resumed := spec
+	resumed.Checkpoint = &CheckpointSpec{Every: 2, Dir: dir, Resume: true}
+	j2, err := svc.Submit(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Straight through into the same directory (checkpoint files are
+	// deterministic, so re-saving is idempotent): the wire forms must match
+	// byte for byte.
+	want, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("resumed result not byte-identical\ngot:  %s\nwant: %s", gotJSON, wantJSON)
+	}
+}
+
+// TestServiceEvictionProtectsCheckpointHolders: history eviction never
+// drops a job whose checkpoint files are still on disk — the job entry is
+// their only API-reachable owner — and Delete both forgets the job and
+// reaps the files.
+func TestServiceEvictionProtectsCheckpointHolders(t *testing.T) {
+	svc := NewService(WithJobHistory(1))
+	defer svc.Close()
+	dir := t.TempDir()
+	spec := ckptSpec("find", dir, 2)
+
+	obs := newCancelJobAt(5)
+	holder, err := svc.SubmitObserved(spec, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.jc <- holder
+	if _, err := holder.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("holder err %v", err)
+	}
+	hash := spec.SpecHash()
+	if !checkpoint.HasAny(dir, hash) {
+		t.Fatal("cancelled job left no checkpoint files")
+	}
+
+	// Push enough plain jobs through to evict everything evictable.
+	plain := gnpSpec("find")
+	plain.Verify = VerifyNone
+	for i := 0; i < 3; i++ {
+		j, err := svc.Submit(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := svc.Job(holder.ID()); !ok {
+		t.Fatal("checkpoint-holding job was evicted")
+	}
+
+	if err := svc.Delete(holder.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.Job(holder.ID()); ok {
+		t.Fatal("deleted job still reachable")
+	}
+	if checkpoint.HasAny(dir, hash) {
+		t.Fatal("delete did not reap the checkpoint files")
+	}
+	if err := svc.Delete("job-nope"); err == nil {
+		t.Fatal("deleting an unknown job succeeded")
+	}
+}

@@ -90,7 +90,6 @@ func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Resul
 		return Result{}, err
 	}
 	g := sg.g
-	n := g.N()
 	b := spec.bandwidth()
 	cfg := sim.Config{Mode: modeFor(spec.Algo), BandwidthWords: b, Seed: spec.Seed,
 		Parallel: spec.Parallel, Shards: spec.Shards}
@@ -99,87 +98,30 @@ func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Resul
 	}
 
 	cobs := coreObs(obs)
+	ab, err := buildAlgo(spec, g)
+	if err != nil {
+		return Result{}, err
+	}
+	ckMeta, ckPlan, err := checkpointPlanFor(spec, g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	run := sg.runner(cfg)
 	var res core.Result
 	var runErr error
-	eps, reps := 0.0, 0
-	switch spec.Algo {
-	case "list":
-		opt := core.ListerOptions{Eps: spec.Eps, RepetitionsOverride: spec.Repetitions, LogCorrected: spec.LogCorrected}
-		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
-		reps = opt.Repetitions(n)
-		var segs []core.Segment
-		if segs, err = core.NewLister(n, b, opt); err != nil {
-			return Result{}, err
-		}
-		res, runErr = run.RunSequenceContext(ctx, segs, spec.Seed, cobs)
-	case "find":
-		opt := core.FinderOptions{Eps: spec.Eps, Repetitions: spec.Repetitions, LogCorrected: spec.LogCorrected}
-		eps = epsFor(spec, n, core.EpsFindingPure, core.EpsFindingLogCorrected)
-		if reps = spec.Repetitions; reps <= 0 {
-			reps = 5
-		}
-		var segs []core.Segment
-		if segs, err = core.NewFinder(n, b, opt); err != nil {
-			return Result{}, err
-		}
-		res, runErr = run.RunSequenceContext(ctx, segs, spec.Seed, cobs)
-	case "a1":
-		eps = epsFor(spec, n, core.EpsFindingPure, core.EpsFindingLogCorrected)
-		sched, mk := core.NewA1(core.Params{N: n, Eps: eps, B: b})
-		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
-	case "a2":
-		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
-		sched, mk, err := core.NewA2(core.Params{N: n, Eps: eps, B: b})
-		if err != nil {
-			return Result{}, err
-		}
-		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
-	case "a3":
-		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
-		sched, mk := core.NewA3(core.Params{N: n, Eps: eps, B: b})
-		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
-	case "axr":
-		eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
-		sched, mk := core.NewAXR(core.Params{N: n, Eps: eps, B: b}, core.AXROptions{})
-		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
-	case "twohop", "local", "bcast-twohop":
-		tmode := baseline.TwoHopGlobal
-		if spec.Algo == "local" {
-			tmode = baseline.TwoHopLocal
-		}
-		sched, mk := baseline.NewTwoHop(n, b, g.MaxDegree(), tmode)
-		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
-	case "dolev", "dolev-deg", "dolev-relay":
-		variant := baseline.DolevCubeRoot
-		if spec.Algo == "dolev-deg" {
-			variant = baseline.DolevDegreeAware
-		}
-		routing := baseline.DirectRouting
-		if spec.Algo == "dolev-relay" {
-			routing = baseline.RelayRouting
-		}
-		sched, mk, err := baseline.NewDolevRouted(g, b, variant, routing)
-		if err != nil {
-			return Result{}, err
-		}
-		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
-	case "tester":
-		probes := spec.Probes
-		if probes <= 0 {
-			probes = 16
-		}
-		sched, mk := core.NewPropertyTester(n, b, probes)
-		res, runErr = run.RunSingleContext(ctx, sched, mk, spec.Seed, cobs)
-	default:
-		return Result{}, fmt.Errorf("congest: unhandled algorithm %q", spec.Algo)
+	if ab.segs != nil {
+		res, runErr = run.RunSequenceCheckpointed(ctx, ab.segs, spec.Seed, cobs, ckPlan)
+	} else {
+		res, runErr = run.RunSingleCheckpointed(ctx, ab.sched, ab.mk, spec.Seed, cobs, ckPlan)
 	}
 	if runErr != nil && !res.Meta.Cancelled {
 		return Result{}, runErr
 	}
 
+	meta := metaOf(spec.Algo, res.Meta, ab.eps, ab.reps)
+	meta.Checkpoint = ckMeta
 	out := Result{
-		Meta:          metaOf(spec.Algo, res.Meta, eps, reps),
+		Meta:          meta,
 		Graph:         graphInfoOf(g),
 		Metrics:       metricsOf(res.Metrics),
 		Found:         len(res.Union) > 0,
@@ -198,6 +140,93 @@ func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Resul
 		out.LowerBound = lowerBoundOf(g, res)
 	}
 	return out, nil
+}
+
+// algoBuild is one resolved algorithm: either a segment sequence (segs)
+// or a single schedule (sched + mk), plus the resolved tunables the
+// result meta reports.
+type algoBuild struct {
+	segs  []core.Segment
+	sched *sim.Schedule
+	mk    func(id int) sim.Node
+	eps   float64
+	reps  int
+}
+
+// buildAlgo resolves a spec's algorithm into runnable form. It is shared
+// by job execution and checkpoint replay, so both construct bit-identical
+// node machines.
+func buildAlgo(spec JobSpec, g *graph.Graph) (algoBuild, error) {
+	n := g.N()
+	b := spec.bandwidth()
+	var ab algoBuild
+	switch spec.Algo {
+	case "list":
+		opt := core.ListerOptions{Eps: spec.Eps, RepetitionsOverride: spec.Repetitions, LogCorrected: spec.LogCorrected}
+		ab.eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		ab.reps = opt.Repetitions(n)
+		segs, err := core.NewLister(n, b, opt)
+		if err != nil {
+			return ab, err
+		}
+		ab.segs = segs
+	case "find":
+		opt := core.FinderOptions{Eps: spec.Eps, Repetitions: spec.Repetitions, LogCorrected: spec.LogCorrected}
+		ab.eps = epsFor(spec, n, core.EpsFindingPure, core.EpsFindingLogCorrected)
+		if ab.reps = spec.Repetitions; ab.reps <= 0 {
+			ab.reps = 5
+		}
+		segs, err := core.NewFinder(n, b, opt)
+		if err != nil {
+			return ab, err
+		}
+		ab.segs = segs
+	case "a1":
+		ab.eps = epsFor(spec, n, core.EpsFindingPure, core.EpsFindingLogCorrected)
+		ab.sched, ab.mk = core.NewA1(core.Params{N: n, Eps: ab.eps, B: b})
+	case "a2":
+		ab.eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		sched, mk, err := core.NewA2(core.Params{N: n, Eps: ab.eps, B: b})
+		if err != nil {
+			return ab, err
+		}
+		ab.sched, ab.mk = sched, mk
+	case "a3":
+		ab.eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		ab.sched, ab.mk = core.NewA3(core.Params{N: n, Eps: ab.eps, B: b})
+	case "axr":
+		ab.eps = epsFor(spec, n, core.EpsListingPure, core.EpsListingLogCorrected)
+		ab.sched, ab.mk = core.NewAXR(core.Params{N: n, Eps: ab.eps, B: b}, core.AXROptions{})
+	case "twohop", "local", "bcast-twohop":
+		tmode := baseline.TwoHopGlobal
+		if spec.Algo == "local" {
+			tmode = baseline.TwoHopLocal
+		}
+		ab.sched, ab.mk = baseline.NewTwoHop(n, b, g.MaxDegree(), tmode)
+	case "dolev", "dolev-deg", "dolev-relay":
+		variant := baseline.DolevCubeRoot
+		if spec.Algo == "dolev-deg" {
+			variant = baseline.DolevDegreeAware
+		}
+		routing := baseline.DirectRouting
+		if spec.Algo == "dolev-relay" {
+			routing = baseline.RelayRouting
+		}
+		sched, mk, err := baseline.NewDolevRouted(g, b, variant, routing)
+		if err != nil {
+			return ab, err
+		}
+		ab.sched, ab.mk = sched, mk
+	case "tester":
+		probes := spec.Probes
+		if probes <= 0 {
+			probes = 16
+		}
+		ab.sched, ab.mk = core.NewPropertyTester(n, b, probes)
+	default:
+		return ab, fmt.Errorf("congest: unhandled algorithm %q", spec.Algo)
+	}
+	return ab, nil
 }
 
 // verify runs the selected check against the centralized oracle.

@@ -81,6 +81,11 @@ type RunMeta struct {
 	Cancelled bool `json:"cancelled,omitempty"`
 	// Segments is the per-segment round budget.
 	Segments []SegmentPlan `json:"segments,omitempty"`
+	// Checkpoint is the job's checkpoint provenance (nil when the job
+	// didn't checkpoint): where its snapshots live and under which spec
+	// identity. Configuration only — a resumed job's Result is
+	// byte-identical to the uninterrupted one.
+	Checkpoint *CheckpointMeta `json:"checkpoint,omitempty"`
 }
 
 // VerifyReport is the outcome of a job's verification pass.

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/checkpoint"
 )
 
 // JobStatus is a Job's lifecycle state.
@@ -154,6 +156,10 @@ func (s *Service) SubmitObserved(spec JobSpec, obs Observer) (*Job, error) {
 
 // evictLocked drops the oldest terminal jobs (and their retained Results)
 // while the service holds more than its history budget. Callers hold s.mu.
+//
+// Jobs still holding live checkpoint files are never evicted: the job
+// entry is the only API-reachable owner of its (dir, spec hash) — losing
+// it would orphan the files, with no way to resume or Delete-reap them.
 func (s *Service) evictLocked() {
 	if s.history < 0 {
 		return
@@ -165,7 +171,7 @@ func (s *Service) evictLocked() {
 		j.mu.Lock()
 		terminal := j.status == JobDone || j.status == JobCancelled || j.status == JobFailed
 		j.mu.Unlock()
-		if excess > 0 && terminal {
+		if excess > 0 && terminal && !j.holdsCheckpoints() {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -173,6 +179,39 @@ func (s *Service) evictLocked() {
 		keep = append(keep, s.order[i])
 	}
 	s.order = keep
+}
+
+// holdsCheckpoints reports whether the job owns checkpoint files on disk.
+func (j *Job) holdsCheckpoints() bool {
+	cs := j.spec.Checkpoint
+	return cs != nil && checkpoint.HasAny(cs.Dir, j.spec.SpecHash())
+}
+
+// Delete cancels the job if it is still running, waits for it to stop,
+// removes it from the service's history, and reaps its checkpoint files.
+// The one sanctioned way to drop a checkpoint-holding job.
+func (s *Service) Delete(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("congest: no such job %q", id)
+	}
+	j.cancel()
+	<-j.done
+	s.mu.Lock()
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if cs := j.spec.Checkpoint; cs != nil {
+		return checkpoint.Reap(cs.Dir, j.spec.SpecHash())
+	}
+	return nil
 }
 
 func (s *Service) execute(ctx context.Context, j *Job, obs Observer) {

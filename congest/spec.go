@@ -189,6 +189,9 @@ type JobSpec struct {
 	LowerBound bool `json:"lowerBound,omitempty"`
 	// Churn configures the churn job; required iff Algo is "churn".
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Checkpoint enables periodic engine snapshots (and resume) for this
+	// job; see CheckpointSpec. Not supported for count/churn.
+	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
 }
 
 // algoSet is the closed set of job algorithm names.
@@ -238,6 +241,17 @@ func (s JobSpec) Validate() error {
 	case "", VerifyAuto, VerifyNone, VerifyOneSided, VerifyListing, VerifyFinding:
 	default:
 		return fmt.Errorf("congest: unknown verify mode %q", s.Verify)
+	}
+	if s.Checkpoint != nil {
+		if s.Algo == "count" || s.Algo == "churn" {
+			return fmt.Errorf("%w: %q", ErrNotCheckpointable, s.Algo)
+		}
+		if s.Checkpoint.Dir == "" {
+			return fmt.Errorf("congest: checkpoint spec needs a directory")
+		}
+		if s.Checkpoint.Every < 0 {
+			return fmt.Errorf("congest: negative checkpoint cadence %d", s.Checkpoint.Every)
+		}
 	}
 	if (s.Algo == "churn") != (s.Churn != nil) {
 		return fmt.Errorf("congest: churn spec required iff algo is \"churn\"")

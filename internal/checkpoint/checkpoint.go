@@ -1,0 +1,343 @@
+// Package checkpoint implements the durable container for engine
+// snapshots: a versioned little-endian binary envelope carrying run
+// provenance (so a checkpoint refuses to resume against a mismatched graph
+// or config) plus the opaque engine payload produced by
+// sim.Engine.Snapshot, with directory helpers for checkpoint families and
+// a time-travel replay driver.
+//
+// Layout, all little-endian (mirroring the .csrbin discipline):
+//
+//	offset  size  field
+//	0       4     magic "CKPT"
+//	4       4     version (uint32, currently 1)
+//	8       4     word width in bytes (uint32, must be 8)
+//	12      4     flags (uint32, must be zero in version 1)
+//	16      8     round (uint64; must equal Meta.Round)
+//	24      8     n, node count (uint64; must equal Meta.N)
+//	32      8     meta length in bytes (uint64)
+//	40      8     payload length in bytes (uint64)
+//	48      8     FNV-64a checksum over meta||payload
+//	56      8     reserved, must be zero in version 1
+//	64      ...   meta: JSON-encoded Meta, exactly meta-length bytes
+//	...     ...   payload: opaque engine snapshot, exactly payload-length bytes
+//
+// Decoding is strict: truncation, trailing data, checksum mismatch,
+// nonzero reserved bits and header/meta disagreement all fail closed with
+// typed errors — a successful Load never yields a wrong-but-plausible
+// checkpoint. A decoded checkpoint retains its exact meta bytes, so
+// re-encoding is byte-identical (pinned by FuzzCheckpointRoundTrip).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	ckptMagic     = "CKPT"
+	ckptVersion   = 1
+	ckptHeaderLen = 64
+
+	// maxSectionLen bounds meta and payload lengths read from a header
+	// before any allocation (1 TiB — far beyond any real checkpoint, small
+	// enough to reject absurd headers immediately).
+	maxSectionLen = 1 << 40
+)
+
+// Typed failure classes, all errors.Is-able through wrapping.
+var (
+	// ErrCorrupt reports a malformed, truncated or checksum-failing
+	// container.
+	ErrCorrupt = errors.New("checkpoint: corrupt container")
+	// ErrVersion reports an unsupported container version.
+	ErrVersion = errors.New("checkpoint: unsupported version")
+	// ErrMismatch reports provenance that forbids resuming: the checkpoint
+	// was taken under a different spec, graph, seed or scheduler-relevant
+	// config.
+	ErrMismatch = errors.New("checkpoint: provenance mismatch")
+	// ErrNotFound reports that a directory holds no checkpoint for the
+	// requested spec hash.
+	ErrNotFound = errors.New("checkpoint: no checkpoint found")
+)
+
+// Meta is the provenance block. Identity fields (everything the
+// determinism contract keys on) must match for a resume; Shards, Workers
+// and Parallel are recorded for observability only — the restored run is
+// bit-identical under any of their values, so migrating a checkpoint
+// across worker or shard counts is legal and tested.
+type Meta struct {
+	SpecHash  string `json:"spec_hash"`  // canonical job spec hash
+	GraphHash string `json:"graph_hash"` // FNV-64a over the CSR slabs
+	Algo      string `json:"algo"`       // algorithm family
+	Seed      int64  `json:"seed"`
+	Round     int    `json:"round"` // round boundary of the snapshot
+	N         int    `json:"n"`
+	M         int    `json:"m"` // undirected edge count
+	Bandwidth int    `json:"bandwidth"`
+	Mode      int    `json:"mode"`
+	Scheduler int    `json:"scheduler"`
+	Shards    int    `json:"shards"`   // provenance only
+	Workers   int    `json:"workers"`  // provenance only
+	Parallel  bool   `json:"parallel"` // provenance only
+}
+
+// CompatibleWith returns nil when a run described by want may resume from
+// this checkpoint, or ErrMismatch (wrapped, naming the first differing
+// field) when it may not.
+func (m Meta) CompatibleWith(want Meta) error {
+	type field struct {
+		name     string
+		got, exp any
+	}
+	for _, f := range []field{
+		{"spec_hash", m.SpecHash, want.SpecHash},
+		{"graph_hash", m.GraphHash, want.GraphHash},
+		{"algo", m.Algo, want.Algo},
+		{"seed", m.Seed, want.Seed},
+		{"n", m.N, want.N},
+		{"m", m.M, want.M},
+		{"bandwidth", m.Bandwidth, want.Bandwidth},
+		{"mode", m.Mode, want.Mode},
+		{"scheduler", m.Scheduler, want.Scheduler},
+	} {
+		if f.got != f.exp {
+			return fmt.Errorf("%w: %s is %v, run wants %v", ErrMismatch, f.name, f.got, f.exp)
+		}
+	}
+	return nil
+}
+
+// Checkpoint is one decoded (or to-be-encoded) container.
+type Checkpoint struct {
+	Meta    Meta
+	Payload []byte
+
+	// rawMeta preserves the exact stored meta bytes of a decoded
+	// checkpoint so Encode is byte-identical; nil for freshly built ones.
+	rawMeta []byte
+}
+
+// New builds a checkpoint from provenance and an engine payload.
+func New(meta Meta, payload []byte) *Checkpoint {
+	return &Checkpoint{Meta: meta, Payload: payload}
+}
+
+// Encode serializes the container.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	meta := c.rawMeta
+	if meta == nil {
+		var err error
+		meta, err = json.Marshal(c.Meta)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: encode meta: %w", err)
+		}
+	}
+	out := make([]byte, ckptHeaderLen, ckptHeaderLen+len(meta)+len(c.Payload))
+	copy(out[0:4], ckptMagic)
+	binary.LittleEndian.PutUint32(out[4:8], ckptVersion)
+	binary.LittleEndian.PutUint32(out[8:12], 8)
+	binary.LittleEndian.PutUint32(out[12:16], 0)
+	binary.LittleEndian.PutUint64(out[16:24], uint64(c.Meta.Round))
+	binary.LittleEndian.PutUint64(out[24:32], uint64(c.Meta.N))
+	binary.LittleEndian.PutUint64(out[32:40], uint64(len(meta)))
+	binary.LittleEndian.PutUint64(out[40:48], uint64(len(c.Payload)))
+	h := fnv.New64a()
+	h.Write(meta)
+	h.Write(c.Payload)
+	binary.LittleEndian.PutUint64(out[48:56], h.Sum64())
+	out = append(out, meta...)
+	out = append(out, c.Payload...)
+	return out, nil
+}
+
+// Decode parses a container, rejecting truncation, trailing data and every
+// corruption class with typed errors.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < ckptHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(data), ckptHeaderLen)
+	}
+	if string(data[0:4]) != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != ckptVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrVersion, v, ckptVersion)
+	}
+	if ww := binary.LittleEndian.Uint32(data[8:12]); ww != 8 {
+		return nil, fmt.Errorf("%w: word width %d (want 8)", ErrCorrupt, ww)
+	}
+	if fl := binary.LittleEndian.Uint32(data[12:16]); fl != 0 {
+		return nil, fmt.Errorf("%w: nonzero flags %#x", ErrCorrupt, fl)
+	}
+	for _, b := range data[56:ckptHeaderLen] {
+		if b != 0 {
+			return nil, fmt.Errorf("%w: nonzero reserved header bytes", ErrCorrupt)
+		}
+	}
+	round := binary.LittleEndian.Uint64(data[16:24])
+	n := binary.LittleEndian.Uint64(data[24:32])
+	metaLen := binary.LittleEndian.Uint64(data[32:40])
+	payloadLen := binary.LittleEndian.Uint64(data[40:48])
+	if metaLen > maxSectionLen || payloadLen > maxSectionLen {
+		return nil, fmt.Errorf("%w: absurd section lengths meta=%d payload=%d", ErrCorrupt, metaLen, payloadLen)
+	}
+	want := uint64(ckptHeaderLen) + metaLen + payloadLen
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("%w: container is %d bytes, header implies %d", ErrCorrupt, len(data), want)
+	}
+	meta := data[ckptHeaderLen : ckptHeaderLen+metaLen]
+	payload := data[ckptHeaderLen+metaLen:]
+	h := fnv.New64a()
+	h.Write(meta)
+	h.Write(payload)
+	if got, exp := h.Sum64(), binary.LittleEndian.Uint64(data[48:56]); got != exp {
+		return nil, fmt.Errorf("%w: checksum %#x, stored %#x", ErrCorrupt, got, exp)
+	}
+	c := &Checkpoint{
+		Payload: append([]byte(nil), payload...),
+		rawMeta: append([]byte(nil), meta...),
+	}
+	if err := json.Unmarshal(c.rawMeta, &c.Meta); err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+	}
+	if uint64(c.Meta.Round) != round {
+		return nil, fmt.Errorf("%w: header round %d, meta round %d", ErrCorrupt, round, c.Meta.Round)
+	}
+	if uint64(c.Meta.N) != n {
+		return nil, fmt.Errorf("%w: header n %d, meta n %d", ErrCorrupt, n, c.Meta.N)
+	}
+	return c, nil
+}
+
+// FileName returns the canonical file name for a checkpoint of the given
+// spec hash at the given round.
+func FileName(specHash string, round int) string {
+	return fmt.Sprintf("%s-r%08d.ckpt", specHash, round)
+}
+
+// Save atomically writes the checkpoint into dir under its canonical name
+// (write to a temp file, then rename) and returns the final path. The
+// directory is created if missing.
+func Save(dir string, c *Checkpoint) (string, error) {
+	data, err := c.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, FileName(c.Meta.SpecHash, c.Meta.Round))
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return final, nil
+}
+
+// Load reads and decodes one checkpoint file.
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// list returns the checkpoint files for specHash in dir, sorted by round
+// ascending (lexicographic order of the zero-padded name).
+func list(dir, specHash string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	prefix := specHash + "-r"
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, prefix) && strings.HasSuffix(name, ".ckpt") {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasAny reports whether dir holds at least one checkpoint for specHash.
+func HasAny(dir, specHash string) bool {
+	return len(list(dir, specHash)) > 0
+}
+
+// Latest loads the highest-round checkpoint for specHash in dir. Returns
+// ErrNotFound (wrapped) when none exists.
+func Latest(dir, specHash string) (*Checkpoint, string, error) {
+	files := list(dir, specHash)
+	if len(files) == 0 {
+		return nil, "", fmt.Errorf("%w: for %s in %s", ErrNotFound, specHash, dir)
+	}
+	path := files[len(files)-1]
+	c, err := Load(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return c, path, nil
+}
+
+// roundOf parses the round out of a canonical checkpoint file name.
+func roundOf(path, specHash string) (int, bool) {
+	name := filepath.Base(path)
+	name = strings.TrimPrefix(name, specHash+"-r")
+	name = strings.TrimSuffix(name, ".ckpt")
+	r, err := strconv.Atoi(name)
+	return r, err == nil && r >= 0
+}
+
+// Nearest loads the highest-round checkpoint for specHash at or below
+// round — the replay anchor that minimizes catch-up work. Returns
+// ErrNotFound (wrapped) when none qualifies.
+func Nearest(dir, specHash string, round int) (*Checkpoint, string, error) {
+	files := list(dir, specHash)
+	for i := len(files) - 1; i >= 0; i-- {
+		r, ok := roundOf(files[i], specHash)
+		if !ok || r > round {
+			continue
+		}
+		c, err := Load(files[i])
+		if err != nil {
+			return nil, "", err
+		}
+		return c, files[i], nil
+	}
+	return nil, "", fmt.Errorf("%w: at or below round %d for %s in %s", ErrNotFound, round, specHash, dir)
+}
+
+// Reap removes every checkpoint file for specHash in dir. Missing
+// directories are not an error.
+func Reap(dir, specHash string) error {
+	var firstErr error
+	for _, f := range list(dir, specHash) {
+		if err := os.Remove(f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,425 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func testMeta() Meta {
+	return Meta{
+		SpecHash:  "f00dfeedcafe0123",
+		GraphHash: "0123456789abcdef",
+		Algo:      "list",
+		Seed:      42,
+		Round:     16,
+		N:         1000,
+		M:         4999,
+		Bandwidth: 2,
+		Mode:      0,
+		Scheduler: 0,
+		Shards:    4,
+		Workers:   2,
+		Parallel:  true,
+	}
+}
+
+func mustEncode(t *testing.T, c *Checkpoint) []byte {
+	t.Helper()
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+// rawContainer assembles a container with arbitrary (possibly invalid)
+// meta bytes but a consistent header and checksum, for exercising
+// validation paths Encode itself can never produce.
+func rawContainer(meta, payload []byte, round, n uint64) []byte {
+	out := make([]byte, ckptHeaderLen, ckptHeaderLen+len(meta)+len(payload))
+	copy(out[0:4], ckptMagic)
+	binary.LittleEndian.PutUint32(out[4:8], ckptVersion)
+	binary.LittleEndian.PutUint32(out[8:12], 8)
+	binary.LittleEndian.PutUint64(out[16:24], round)
+	binary.LittleEndian.PutUint64(out[24:32], n)
+	binary.LittleEndian.PutUint64(out[32:40], uint64(len(meta)))
+	binary.LittleEndian.PutUint64(out[40:48], uint64(len(payload)))
+	h := fnv.New64a()
+	h.Write(meta)
+	h.Write(payload)
+	binary.LittleEndian.PutUint64(out[48:56], h.Sum64())
+	out = append(out, meta...)
+	out = append(out, payload...)
+	return out
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	payload := []byte("engine snapshot payload bytes \x00\x01\x02")
+	ck := New(testMeta(), payload)
+	data := mustEncode(t, ck)
+
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Meta, ck.Meta) {
+		t.Fatalf("meta round-trip: got %+v want %+v", got.Meta, ck.Meta)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload round-trip mismatch")
+	}
+	re := mustEncode(t, got)
+	if !bytes.Equal(re, data) {
+		t.Fatalf("re-encode of decoded checkpoint is not byte-identical")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid := mustEncode(t, New(testMeta(), []byte("payload")))
+
+	// Truncation at every prefix length must fail closed (never succeed).
+	for cut := 0; cut < len(valid); cut += 5 {
+		if _, err := Decode(valid[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+
+	corrupt := func(name string, mutate func([]byte), want error) {
+		t.Helper()
+		data := append([]byte(nil), valid...)
+		mutate(data)
+		if _, err := Decode(data); !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+	}
+	corrupt("bad magic", func(b []byte) { b[0] = 'X' }, ErrCorrupt)
+	corrupt("future version", func(b []byte) { binary.LittleEndian.PutUint32(b[4:8], 99) }, ErrVersion)
+	corrupt("word width", func(b []byte) { binary.LittleEndian.PutUint32(b[8:12], 4) }, ErrCorrupt)
+	corrupt("nonzero flags", func(b []byte) { b[12] = 1 }, ErrCorrupt)
+	corrupt("nonzero reserved", func(b []byte) { b[60] = 7 }, ErrCorrupt)
+	corrupt("header round vs meta", func(b []byte) { b[16] ^= 0xFF }, ErrCorrupt)
+	corrupt("header n vs meta", func(b []byte) { b[24] ^= 0xFF }, ErrCorrupt)
+	corrupt("checksum stamp", func(b []byte) { b[48] ^= 0x01 }, ErrCorrupt)
+	corrupt("payload bit flip", func(b []byte) { b[len(b)-1] ^= 0x80 }, ErrCorrupt)
+	corrupt("meta bit flip", func(b []byte) { b[ckptHeaderLen] ^= 0x80 }, ErrCorrupt)
+	corrupt("absurd meta length", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[32:40], maxSectionLen+1)
+	}, ErrCorrupt)
+
+	// Trailing garbage after a valid container.
+	if _, err := Decode(append(append([]byte(nil), valid...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+
+	// Meta that is not JSON, with a checksum that still verifies.
+	bad := rawContainer([]byte("{not json"), []byte("p"), 16, 1000)
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("non-JSON meta: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCompatibleWith(t *testing.T) {
+	base := testMeta()
+	if err := base.CompatibleWith(base); err != nil {
+		t.Fatalf("identical meta rejected: %v", err)
+	}
+
+	// Placement fields may differ freely: checkpoints migrate across
+	// shard/worker counts and parallelism.
+	moved := base
+	moved.Shards = 1
+	moved.Workers = 16
+	moved.Parallel = false
+	if err := base.CompatibleWith(moved); err != nil {
+		t.Fatalf("placement-only change rejected: %v", err)
+	}
+
+	reject := func(name string, mutate func(*Meta)) {
+		t.Helper()
+		m := base
+		mutate(&m)
+		if err := base.CompatibleWith(m); !errors.Is(err, ErrMismatch) {
+			t.Errorf("%s: got %v, want ErrMismatch", name, err)
+		}
+	}
+	reject("spec hash", func(m *Meta) { m.SpecHash = "deadbeef00000000" })
+	reject("graph hash", func(m *Meta) { m.GraphHash = "deadbeef00000000" })
+	reject("algo", func(m *Meta) { m.Algo = "find" })
+	reject("seed", func(m *Meta) { m.Seed = 43 })
+	reject("n", func(m *Meta) { m.N = 999 })
+	reject("m", func(m *Meta) { m.M = 1 })
+	reject("bandwidth", func(m *Meta) { m.Bandwidth = 1 })
+	reject("mode", func(m *Meta) { m.Mode = 1 })
+	reject("scheduler", func(m *Meta) { m.Scheduler = 1 })
+}
+
+func TestSaveLoadLatestReap(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts") // exercise MkdirAll
+	meta := testMeta()
+
+	if HasAny(dir, meta.SpecHash) {
+		t.Fatalf("HasAny on missing dir")
+	}
+	if _, _, err := Latest(dir, meta.SpecHash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest on missing dir: got %v, want ErrNotFound", err)
+	}
+
+	for _, round := range []int{0, 8, 16} {
+		m := meta
+		m.Round = round
+		path, err := Save(dir, New(m, []byte(fmt.Sprintf("payload@%d", round))))
+		if err != nil {
+			t.Fatalf("Save round %d: %v", round, err)
+		}
+		if filepath.Base(path) != FileName(meta.SpecHash, round) {
+			t.Fatalf("Save path %q, want name %q", path, FileName(meta.SpecHash, round))
+		}
+	}
+	// A different spec family in the same directory must stay invisible.
+	other := meta
+	other.SpecHash = "aaaabbbbccccdddd"
+	other.Round = 99
+	if _, err := Save(dir, New(other, []byte("other"))); err != nil {
+		t.Fatalf("Save other family: %v", err)
+	}
+
+	if !HasAny(dir, meta.SpecHash) {
+		t.Fatalf("HasAny false after saves")
+	}
+	ck, path, err := Latest(dir, meta.SpecHash)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if ck.Meta.Round != 16 || string(ck.Payload) != "payload@16" {
+		t.Fatalf("Latest returned round %d payload %q", ck.Meta.Round, ck.Payload)
+	}
+	if loaded, err := Load(path); err != nil || loaded.Meta.Round != 16 {
+		t.Fatalf("Load(%q): %v", path, err)
+	}
+
+	if err := Reap(dir, meta.SpecHash); err != nil {
+		t.Fatalf("Reap: %v", err)
+	}
+	if HasAny(dir, meta.SpecHash) {
+		t.Fatalf("checkpoints survive Reap")
+	}
+	if !HasAny(dir, other.SpecHash) {
+		t.Fatalf("Reap removed another family's checkpoints")
+	}
+	if _, _, err := Latest(dir, meta.SpecHash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest after Reap: got %v, want ErrNotFound", err)
+	}
+}
+
+// FuzzCheckpointRoundTrip pins the container's fail-closed contract:
+// whatever bytes arrive, Decode either rejects them with a typed error or
+// accepts them — and every accepted container re-encodes byte-identically
+// and decodes again to the same provenance. There is no third outcome
+// (a wrong-but-successful restore source).
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	valid, err := New(testMeta(), []byte("fuzz seed payload")).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:ckptHeaderLen])                       // header only, sections missing
+	f.Add(valid[:7])                                   // sub-header truncation
+	f.Add(append(append([]byte(nil), valid...), 0xEE)) // trailing garbage
+	for _, off := range []int{0, 4, 8, 12, 16, 48, 56, ckptHeaderLen, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add(rawContainer([]byte("{not json"), []byte("p"), 16, 1000))
+	f.Add([]byte{})
+	f.Add([]byte(ckptMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("Decode failed with untyped error: %v", err)
+			}
+			return
+		}
+		re, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted container: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted container does not re-encode byte-identically")
+		}
+		ck2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(ck.Meta, ck2.Meta) || !bytes.Equal(ck.Payload, ck2.Payload) {
+			t.Fatalf("re-decode disagrees with first decode")
+		}
+	})
+}
+
+// replNode is a deterministic-per-seed chatter machine (sleeps, unicast
+// bursts, outputs, SetDone) used to exercise Replay against a real
+// engine; its only snapshot state is the chosen finish round.
+type replNode struct {
+	doneAt int
+}
+
+func (c *replNode) Init(ctx *sim.Context) {
+	r := ctx.RNG()
+	c.doneAt = 12 + r.Intn(30)
+	if r.Intn(4) == 0 {
+		ctx.SleepUntil(1 + r.Intn(4))
+	}
+}
+
+func (c *replNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
+	r := ctx.RNG()
+	if round >= c.doneAt {
+		ctx.SetDone()
+		ctx.SleepUntil(math.MaxInt32)
+		return
+	}
+	if d := ctx.CommDegree(); d > 0 && r.Intn(3) == 0 {
+		ctx.Send(r.Intn(d), sim.Word(round), sim.Word(ctx.ID()))
+	}
+	if r.Intn(5) == 0 {
+		a := r.Intn(ctx.N())
+		ctx.Output(graph.Triangle{A: a, B: a + 1, C: a + 2})
+	}
+	if r.Intn(3) == 0 {
+		ctx.SleepUntil(round + 1 + r.Intn(6))
+	}
+}
+
+func (c *replNode) SnapshotState(w *sim.SnapWriter) error {
+	w.Int(c.doneAt)
+	return nil
+}
+
+func (c *replNode) RestoreState(r *sim.SnapReader) error {
+	c.doneAt = r.Int()
+	return r.Err()
+}
+
+// event is one hook emission tagged with the round it belongs to, so a
+// straight-through stream can be windowed for comparison.
+type event struct {
+	Round int
+	Kind  string
+	Body  string
+}
+
+func recordingHooks(eng *sim.Engine, out *[]event) sim.Hooks {
+	return sim.Hooks{
+		Round: func(round int, d sim.RoundDelta) {
+			*out = append(*out, event{round, "round", fmt.Sprintf("%+v", d)})
+		},
+		Triangle: func(node int, tri graph.Triangle) {
+			*out = append(*out, event{eng.Round(), "tri", fmt.Sprintf("n%d %v", node, tri)})
+		},
+	}
+}
+
+func TestReplayWindow(t *testing.T) {
+	g := graph.Gnp(40, 0.2, rand.New(rand.NewSource(9)))
+	cfg := sim.Config{Seed: 31}
+	mkNodes := func() []sim.Node {
+		nodes := make([]sim.Node, g.N())
+		for i := range nodes {
+			nodes[i] = &replNode{}
+		}
+		return nodes
+	}
+
+	// Straight-through observed run; snapshot at the cut round mid-stream.
+	const cut = 4
+	eng, err := sim.NewEngine(g, mkNodes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full []event
+	eng.SetHooks(recordingHooks(eng, &full))
+	eng.Run(cut)
+	payload, err := eng.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := eng.RunUntilQuiescent(); err != nil {
+		t.Fatal(err)
+	}
+	total := eng.Round()
+	if total < cut+8 {
+		t.Fatalf("run too short (%d rounds) to carve a window", total)
+	}
+
+	meta := testMeta()
+	meta.Round = cut
+	meta.N = g.N()
+	ck := New(meta, payload)
+
+	from, to := cut+3, total-2
+	want := make([]event, 0, len(full))
+	for _, ev := range full {
+		if ev.Round >= from && ev.Round <= to {
+			want = append(want, ev)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("empty expected window [%d, %d]", from, to)
+	}
+
+	eng2, err := sim.NewEngine(g, mkNodes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []event
+	if err := Replay(eng2, ck, from, to, recordingHooks(eng2, &got)); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay window diverges from straight-through stream:\n got %d events %v\nwant %d events %v",
+			len(got), got, len(want), want)
+	}
+
+	// A window starting before the checkpoint round must be refused.
+	eng3, _ := sim.NewEngine(g, mkNodes(), cfg)
+	if err := Replay(eng3, ck, cut-1, to, sim.Hooks{}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("window before checkpoint: got %v, want ErrMismatch", err)
+	}
+	// As must an empty window.
+	eng4, _ := sim.NewEngine(g, mkNodes(), cfg)
+	if err := Replay(eng4, ck, to, from, sim.Hooks{}); err == nil {
+		t.Fatalf("empty window accepted")
+	}
+
+	// Replaying the whole tail from the checkpoint reproduces everything
+	// from the cut on — and a second replay of a mid-window from a fresh
+	// engine is bit-stable.
+	eng5, _ := sim.NewEngine(g, mkNodes(), cfg)
+	var tail []event
+	if err := Replay(eng5, ck, cut, total, recordingHooks(eng5, &tail)); err != nil {
+		t.Fatalf("tail replay: %v", err)
+	}
+	wantTail := make([]event, 0, len(full))
+	for _, ev := range full {
+		if ev.Round >= cut {
+			wantTail = append(wantTail, ev)
+		}
+	}
+	if !reflect.DeepEqual(tail, wantTail) {
+		t.Fatalf("tail replay diverges: got %d events, want %d", len(tail), len(wantTail))
+	}
+}

@@ -1,0 +1,54 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Replay restores ck into eng — which must be freshly constructed (or
+// Reset) over the same graph, node machines and config as the
+// checkpointed run — and re-derives the exact Hooks stream of rounds
+// [from, to] without re-running anything before the checkpoint. Rounds
+// between the checkpoint and `from` are executed with hooks suppressed
+// (they must be computed — determinism, not magic — but cost no
+// observation), so picking the nearest checkpoint at or below `from`
+// minimizes replay work.
+//
+// The stream delivered to hooks is bit-identical to the corresponding
+// window of a straight-through observed run: same RoundDelta per round,
+// same triangle emissions attributed to the same rounds. Replay stops
+// after round `to` or at quiescence, whichever comes first.
+func Replay(eng *sim.Engine, ck *Checkpoint, from, to int, hooks sim.Hooks) error {
+	if from > to {
+		return fmt.Errorf("checkpoint: replay window [%d, %d] is empty", from, to)
+	}
+	if from < ck.Meta.Round {
+		return fmt.Errorf("%w: window starts at round %d but the checkpoint is at round %d (pick an earlier checkpoint)",
+			ErrMismatch, from, ck.Meta.Round)
+	}
+	if err := eng.Restore(ck.Payload); err != nil {
+		return err
+	}
+	gated := sim.Hooks{}
+	if rh := hooks.Round; rh != nil {
+		gated.Round = func(round int, d sim.RoundDelta) {
+			if round >= from {
+				rh(round, d)
+			}
+		}
+	}
+	if th := hooks.Triangle; th != nil {
+		gated.Triangle = func(node int, t graph.Triangle) {
+			if eng.Round() >= from {
+				th(node, t)
+			}
+		}
+	}
+	eng.SetHooks(gated)
+	for eng.Round() <= to && !eng.Quiescent() {
+		eng.Run(1)
+	}
+	return nil
+}

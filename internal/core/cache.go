@@ -128,7 +128,7 @@ func (c *EngineCache) run(g *graph.Graph, mkNodes func(nodes []sim.Node), plan [
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := runPlanned(context.Background(), eng, plan, nil)
+	res, err := runPlanned(context.Background(), eng, plan, nil, nil)
 	c.putEngine(cfg, eng)
 	c.putNodes(nodes)
 	return res, err

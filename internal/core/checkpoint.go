@@ -1,0 +1,31 @@
+package core
+
+// CheckpointPlan instructs a run to persist engine snapshots at round
+// boundaries and/or to start from one, instead of always running from
+// round 0. It is deliberately storage-agnostic: the run hands finished
+// payloads to Save and receives a resume payload through Resume; naming,
+// directories and provenance envelopes live in internal/checkpoint and
+// the congest layer.
+type CheckpointPlan struct {
+	// Every is the checkpoint cadence in rounds: a snapshot is taken at
+	// every executed round boundary divisible by Every (never at round 0
+	// or the final scheduled round). Zero disables periodic snapshots;
+	// cancellation snapshots still fire when Save is set.
+	Every int
+	// Save persists one snapshot taken at the given round boundary. A
+	// Save error aborts the run: silently losing checkpoints would turn
+	// a later resume into a silent restart.
+	Save func(round int, payload []byte) error
+	// Resume, when non-nil, restores the engine from a prior snapshot
+	// before the first round executes. The run then produces exactly the
+	// suffix of the uninterrupted run: same outputs, metrics and hook
+	// stream from Round on.
+	Resume *ResumePoint
+}
+
+// ResumePoint is one restored snapshot: the round boundary it was taken
+// at and the engine payload (see sim.Engine.Snapshot).
+type ResumePoint struct {
+	Round   int
+	Payload []byte
+}

@@ -107,7 +107,7 @@ func runNodes(ctx context.Context, g *graph.Graph, nodes []sim.Node, plan []Segm
 	if err != nil {
 		return Result{}, err
 	}
-	return runPlanned(ctx, eng, plan, obs)
+	return runPlanned(ctx, eng, plan, obs, nil)
 }
 
 // runPlanned drives an initialized engine through the plan, streaming to
@@ -115,25 +115,98 @@ func runNodes(ctx context.Context, g *graph.Graph, nodes []sim.Node, plan []Segm
 // collector). On cancellation it returns the partial Result together with
 // ctx.Err(); the partial Result is bit-identical to the same run truncated
 // at the same round.
-func runPlanned(ctx context.Context, eng *sim.Engine, plan []SegmentPlan, obs Observer) (Result, error) {
+//
+// With a CheckpointPlan, execution is additionally chunked at Every-round
+// boundaries (snapshots only exist at round boundaries, where engine
+// staging is drained in every shard), a resume restores the engine and
+// skips everything before the resume round, and a cancellation persists
+// the boundary it stopped at. A resumed run emits exactly the suffix of
+// the uninterrupted run's observation stream: segments that ended before
+// the resume point are silent, and the segment containing it announces
+// itself only when the resume lands exactly on its first round.
+func runPlanned(ctx context.Context, eng *sim.Engine, plan []SegmentPlan, obs Observer, ckpt *CheckpointPlan) (Result, error) {
 	col := newCollector(eng.Input().N())
+	resumeRound := 0
+	if ckpt != nil && ckpt.Resume != nil {
+		if err := eng.Restore(ckpt.Resume.Payload); err != nil {
+			return Result{}, err
+		}
+		resumeRound = eng.Round()
+		// Outputs recorded before the snapshot were already streamed by the
+		// checkpointing run; re-seed the collector directly so the
+		// materialized Result matches the uninterrupted run's.
+		for v, ts := range eng.Outputs() {
+			for _, t := range ts {
+				col.add(v, t)
+			}
+		}
+	}
 	eng.SetHooks(hooksFor(col, obs))
 	cfg := eng.Config()
 	scheduled := 0
 	for _, sp := range plan {
 		scheduled += sp.Rounds
 	}
+	saveAt := func(round int) error {
+		payload, err := eng.Snapshot()
+		if err != nil {
+			return fmt.Errorf("core: checkpoint at round %d: %w", round, err)
+		}
+		if err := ckpt.Save(round, payload); err != nil {
+			return fmt.Errorf("core: checkpoint at round %d: %w", round, err)
+		}
+		return nil
+	}
+	// A boundary where every round since the last save was fast-forwarded
+	// left the engine state untouched except the round counter: the previous
+	// checkpoint plus the (cheap) fast-forward replay already reproduces it.
+	// Skipping those saves keeps long idle tails from writing thousands of
+	// identical containers.
+	lastSave, lastSaveFF := resumeRound, eng.Metrics().FastForwardedRounds
+	idleSince := func(round int) bool {
+		return eng.Metrics().FastForwardedRounds-lastSaveFF == round-lastSave
+	}
 	var runErr error
 	start := 0
 	for i, sp := range plan {
-		if obs != nil {
+		end := start + sp.Rounds
+		if end <= resumeRound {
+			start = end // segment fully behind the resume point
+			continue
+		}
+		if obs != nil && resumeRound <= start {
 			obs.OnSegment(SegmentInfo{Index: i, Name: sp.Name, StartRound: start, Rounds: sp.Rounds})
 		}
-		if err := eng.RunContext(ctx, sp.Rounds); err != nil {
-			runErr = err
+		for cur := max(start, resumeRound); cur < end; {
+			next := end
+			if ckpt != nil && ckpt.Every > 0 {
+				if b := (cur/ckpt.Every + 1) * ckpt.Every; b < next {
+					next = b
+				}
+			}
+			if err := eng.RunContext(ctx, next-cur); err != nil {
+				runErr = err
+				break
+			}
+			cur = next
+			if ckpt != nil && ckpt.Save != nil && ckpt.Every > 0 && cur%ckpt.Every == 0 && cur < scheduled && !idleSince(cur) {
+				if err := saveAt(cur); err != nil {
+					return Result{}, err
+				}
+				lastSave, lastSaveFF = cur, eng.Metrics().FastForwardedRounds
+			}
+		}
+		if runErr != nil {
 			break
 		}
-		start += sp.Rounds
+		start = end
+	}
+	if runErr != nil && ckpt != nil && ckpt.Save != nil {
+		// Preemption: persist the boundary the cancellation stopped at, so
+		// a resumed run continues exactly here.
+		if err := saveAt(eng.Round()); err != nil {
+			return Result{}, err
+		}
 	}
 	metrics := eng.Metrics()
 	res := Result{

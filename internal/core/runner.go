@@ -43,11 +43,19 @@ func (r *Runner) RunSingle(sched *sim.Schedule, mk func(id int) sim.Node, seed i
 // RunSingleContext is RunSingle with cancellation and streaming observation
 // (see the package-level RunSingleContext for the cancellation contract).
 func (r *Runner) RunSingleContext(ctx context.Context, sched *sim.Schedule, mk func(id int) sim.Node, seed int64, obs Observer) (Result, error) {
+	return r.RunSingleCheckpointed(ctx, sched, mk, seed, obs, nil)
+}
+
+// RunSingleCheckpointed is RunSingleContext with a checkpoint plan: the
+// run snapshots at the plan's cadence (and on cancellation) and, when the
+// plan carries a resume point, starts from it instead of round 0. A nil
+// plan is a plain run.
+func (r *Runner) RunSingleCheckpointed(ctx context.Context, sched *sim.Schedule, mk func(id int) sim.Node, seed int64, obs Observer, ckpt *CheckpointPlan) (Result, error) {
 	nodes := r.nodes()
 	for v := range nodes {
 		nodes[v] = mk(v)
 	}
-	return r.run(ctx, nodes, singlePlan(sched), seed, obs)
+	return r.run(ctx, nodes, singlePlan(sched), seed, obs, ckpt)
 }
 
 // RunSequence executes a segment sequence (e.g. the Theorem-1 finder's
@@ -59,6 +67,12 @@ func (r *Runner) RunSequence(segs []Segment, seed int64) (Result, error) {
 // RunSequenceContext is RunSequence with cancellation and streaming
 // observation.
 func (r *Runner) RunSequenceContext(ctx context.Context, segs []Segment, seed int64, obs Observer) (Result, error) {
+	return r.RunSequenceCheckpointed(ctx, segs, seed, obs, nil)
+}
+
+// RunSequenceCheckpointed is RunSequenceContext with a checkpoint plan
+// (see RunSingleCheckpointed).
+func (r *Runner) RunSequenceCheckpointed(ctx context.Context, segs []Segment, seed int64, obs Observer, ckpt *CheckpointPlan) (Result, error) {
 	if len(segs) == 0 {
 		return Result{}, errEmptySequence
 	}
@@ -66,7 +80,7 @@ func (r *Runner) RunSequenceContext(ctx context.Context, segs []Segment, seed in
 	for v := range nodes {
 		nodes[v] = NewSequenceNode(segs, v)
 	}
-	return r.run(ctx, nodes, Plan(segs), seed, obs)
+	return r.run(ctx, nodes, Plan(segs), seed, obs, ckpt)
 }
 
 func (r *Runner) nodes() []sim.Node {
@@ -76,12 +90,12 @@ func (r *Runner) nodes() []sim.Node {
 	return make([]sim.Node, r.g.N())
 }
 
-func (r *Runner) run(ctx context.Context, nodes []sim.Node, plan []SegmentPlan, seed int64, obs Observer) (Result, error) {
+func (r *Runner) run(ctx context.Context, nodes []sim.Node, plan []SegmentPlan, seed int64, obs Observer, ckpt *CheckpointPlan) (Result, error) {
 	eng, err := r.pool.Get(nodes, seed)
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := runPlanned(ctx, eng, plan, obs)
+	res, err := runPlanned(ctx, eng, plan, obs, ckpt)
 	// A cancelled engine still has queued words; Engine.Reset drains them on
 	// the next Get, so pooling it back is safe either way.
 	r.pool.Put(eng)

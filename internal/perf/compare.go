@@ -58,6 +58,12 @@ func DefaultToleranceFor(procs int) Tolerance {
 		// Sharding must never cost more than 2x even with nothing to gain
 		// from it (1 proc: same work plus staging overhead).
 		"speedup_large_sharded_vs_seq": 0.5,
+		// Restoring the round-4096 checkpoint of the sparse workload must
+		// beat rebuilding that state by re-running from round 0 — otherwise
+		// resume is pointless and cold start should be used instead. The
+		// comparison is same-run and algorithmic (O(state) deserialize vs
+		// O(rounds) re-execution), so it holds on any machine.
+		"checkpoint_restore_vs_coldstart": 2.0,
 	}
 	if procs >= 4 {
 		floors["speedup_engine_gnp_par_vs_seq"] = 2.0

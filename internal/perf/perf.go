@@ -41,6 +41,7 @@ type Entry struct {
 	EdgesPerSec     float64 `json:"edges_per_sec,omitempty"`
 	RoundsPerSec    float64 `json:"rounds_per_sec,omitempty"`
 	WordsPerSec     float64 `json:"words_per_sec,omitempty"`
+	BytesPerSec     float64 `json:"bytes_per_sec,omitempty"`
 
 	// NoAllocGate marks entries whose allocation count legitimately varies
 	// across machines (parallel fan-outs allocate per GOMAXPROCS worker);
@@ -129,6 +130,7 @@ var derivedRatios = []struct{ Key, Num, Den string }{
 	{"speedup_sweep_par_vs_seq", "Sweep/seq", "Sweep/par"},
 	{"speedup_large_load_csrbin_vs_text", "LargeLoad/text", "LargeLoad/csrbin"},
 	{"speedup_large_sharded_vs_seq", "EngineStepLarge/seq", "EngineStepLarge/sharded"},
+	{"checkpoint_restore_vs_coldstart", "Checkpoint/coldstart", "Checkpoint/restore"},
 }
 
 // ComputeDerived (re)fills Derived from the ratio definitions, for every

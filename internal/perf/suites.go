@@ -45,6 +45,9 @@ func Suites() []Suite {
 			{Name: "EngineStep/powerlaw-par", Fn: EngineStepPowerLaw(true), NoAllocGate: true},
 			{Name: "EngineStepSparse/dense", Fn: EngineStepSparse(sim.SchedulerDense)},
 			{Name: "EngineStepSparse/activity", Fn: EngineStepSparse(sim.SchedulerActivity)},
+			{Name: "Checkpoint/save", Fn: CheckpointSave()},
+			{Name: "Checkpoint/restore", Fn: CheckpointRestore()},
+			{Name: "Checkpoint/coldstart", Fn: CheckpointColdstart()},
 		}},
 		{Name: "oracle", Benches: []Bench{
 			{Name: "ListTriangles/seq", Fn: OracleList(1)},
@@ -86,6 +89,7 @@ func Measure(b Bench) Entry {
 	e.EdgesPerSec = r.Extra["edges/sec"]
 	e.RoundsPerSec = r.Extra["rounds/sec"]
 	e.WordsPerSec = r.Extra["words/sec"]
+	e.BytesPerSec = r.Extra["bytes/sec"]
 	return e
 }
 
@@ -133,6 +137,12 @@ func (s sparseNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
 	}
 	ctx.SleepUntil(round - round%s.period + s.period)
 }
+
+// sparseNode carries no algorithm state beyond its construction parameters,
+// so its snapshot payload is empty — which makes the checkpoint benches
+// measure the engine container itself, not node serialization.
+func (sparseNode) SnapshotState(*sim.SnapWriter) error { return nil }
+func (sparseNode) RestoreState(*sim.SnapReader) error  { return nil }
 
 // engineStep measures steady-state engine rounds: one benchmark op is
 // exactly one round, so allocs/op is allocs/round.
@@ -206,6 +216,98 @@ func EngineStepSparse(sched sim.Scheduler) func(*testing.B) {
 		engineStep(b, g, func(id int) sim.Node {
 			return sparseNode{period: sparsePeriod, beacon: id < sparseBeacons}
 		}, sim.Config{Seed: 1, Scheduler: sched})
+	}
+}
+
+// --- Checkpoint workloads -----------------------------------------------
+
+// checkpointWarmRounds is where the checkpoint benches snapshot the sparse
+// workload: deep enough that re-running from round 0 (the coldstart
+// alternative a resume competes with) does real work — node init plus
+// checkpointWarmRounds/sparsePeriod active phases.
+const checkpointWarmRounds = 4096
+
+// checkpointEngine builds the sparse-beacon engine the checkpoint benches
+// run on (activity scheduler: the regime checkpointed jobs live in).
+func checkpointEngine(b *testing.B, g *graph.Graph) *sim.Engine {
+	b.Helper()
+	nodes := make([]sim.Node, g.N())
+	for v := range nodes {
+		nodes[v] = sparseNode{period: sparsePeriod, beacon: v < sparseBeacons}
+	}
+	eng, err := sim.NewEngine(g, nodes, sim.Config{Seed: 1, Scheduler: sim.SchedulerActivity})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func checkpointGraph() *graph.Graph {
+	rng := rand.New(rand.NewSource(44))
+	return graph.Gnp(sparseN, 8.0/float64(sparseN-1), rng)
+}
+
+// CheckpointSave measures Engine.Snapshot on the warmed sparse workload:
+// one op is one full-state serialization (bytes/sec is the container
+// encode throughput).
+func CheckpointSave() func(*testing.B) {
+	return func(b *testing.B) {
+		eng := checkpointEngine(b, checkpointGraph())
+		eng.Run(checkpointWarmRounds)
+		payload, err := eng.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(payload))*float64(b.N)/b.Elapsed().Seconds(), "bytes/sec")
+	}
+}
+
+// CheckpointRestore measures the resume path end to end: build a fresh
+// engine and restore the round-checkpointWarmRounds snapshot into it. Its
+// ratio against CheckpointColdstart is the subsystem's reason to exist —
+// the `checkpoint_restore_vs_coldstart` floor the regression gate holds at
+// >= 2.
+func CheckpointRestore() func(*testing.B) {
+	return func(b *testing.B) {
+		g := checkpointGraph()
+		warm := checkpointEngine(b, g)
+		warm.Run(checkpointWarmRounds)
+		payload, err := warm.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := checkpointEngine(b, g)
+			if err := eng.Restore(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(payload))*float64(b.N)/b.Elapsed().Seconds(), "bytes/sec")
+	}
+}
+
+// CheckpointColdstart measures the alternative a restore competes with:
+// build a fresh engine and re-run it from round 0 to the checkpoint round.
+func CheckpointColdstart() func(*testing.B) {
+	return func(b *testing.B) {
+		g := checkpointGraph()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := checkpointEngine(b, g)
+			eng.Run(checkpointWarmRounds)
+		}
 	}
 }
 

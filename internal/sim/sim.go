@@ -57,6 +57,7 @@ type Context struct {
 	n         int
 	banw      int
 	rng       *rand.Rand // built lazily from rngSeed on first RNG() call
+	rngSrc    *countingSource
 	rngSeed   int64
 	comm      []int32 // communication neighbors (sorted); aliases the CSR slab
 	input     []int32 // input-graph neighbors (sorted); == comm in CONGEST mode
@@ -92,10 +93,13 @@ func (c *Context) Bandwidth() int { return c.banw }
 // materialized on first use: a rand.Rand costs ~5 KB of state, which at
 // n=10^6 would be ~5 GB if built eagerly, while most algorithms touch the
 // RNG on only a few nodes (or none). Lazy construction from the recorded
-// seed yields the exact same stream as an eagerly built generator.
+// seed yields the exact same stream as an eagerly built generator. The
+// source is wrapped in a draw counter so engine snapshots can record the
+// stream position and restores can replay to it.
 func (c *Context) RNG() *rand.Rand {
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(c.rngSeed))
+		c.rngSrc = &countingSource{src: rand.NewSource(c.rngSeed).(rand.Source64)}
+		c.rng = rand.New(c.rngSrc)
 	}
 	return c.rng
 }

@@ -1,0 +1,717 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// This file implements round-boundary engine snapshots: Engine.Snapshot
+// serializes the complete observable run state between two rounds, and
+// Engine.Restore rebuilds it into a freshly reset engine over the same
+// graph and config so the continued run is bit-identical to one that never
+// stopped — outputs, metrics, hook streams and cancellation prefixes
+// included, for any Parallel/Workers/Shards setting on either side.
+//
+// What is serialized is exactly the state the determinism contract can
+// observe: pending channel words in per-receiver activation order (the
+// inbox-order source), broadcast queues in activation order, the
+// wake-wheel verbatim (stale entries included — they bound the
+// fast-forward target, so rebuilding the wheel from live wakes alone would
+// change FastForwardedRounds), per-context control state, per-node RNG
+// draw counts, and each node machine's algorithm state through the
+// Snapshotter interface. Derived engine state (stamps, queued-word
+// accounting, the notDone counter, per-shard receiver splits) is
+// reconstructed on restore, which is what makes a snapshot taken at one
+// shard count restore bit-identically at any other: the single-shard and
+// staging-matrix engines agree on all serialized state at every round
+// boundary.
+
+// Snapshotter is implemented by node machines that support engine
+// snapshots. SnapshotState must serialize every bit of mutable per-node
+// algorithm state; RestoreState must rebuild it into a freshly constructed
+// node (Init is never called on a restored engine — restoring replaces
+// it). Static state derivable from the node's constructor arguments need
+// not be serialized. Wrapper nodes should return ErrNotSnapshottable
+// (wrapped) from both methods when an inner handler lacks support.
+type Snapshotter interface {
+	SnapshotState(w *SnapWriter) error
+	RestoreState(r *SnapReader) error
+}
+
+// Typed snapshot errors, all errors.Is-able through wrapping.
+var (
+	// ErrNotSnapshottable reports a node machine without Snapshotter support.
+	ErrNotSnapshottable = errors.New("sim: node does not implement Snapshotter")
+	// ErrBadSnapshot reports a malformed or truncated snapshot payload.
+	ErrBadSnapshot = errors.New("sim: malformed engine snapshot")
+	// ErrSnapshotMismatch reports a snapshot taken under a different graph,
+	// seed, bandwidth, mode or scheduler than the restoring engine's.
+	ErrSnapshotMismatch = errors.New("sim: snapshot does not match engine configuration")
+	// ErrSnapshotState reports Snapshot/Restore called outside their
+	// contract (mid-round, or restoring into a started engine).
+	ErrSnapshotState = errors.New("sim: engine not in a snapshottable state")
+)
+
+// snapVersion versions the engine payload layout inside the checkpoint
+// container (which carries its own format version for the envelope).
+const snapVersion = 1
+
+// countingSource wraps a node's random source and counts the draws taken
+// from it, so a snapshot can record the stream position and a restore can
+// replay exactly that many draws. Both Int63 and Uint64 consume one step
+// of the underlying generator, so replaying with Uint64 alone reproduces
+// any mix of draw kinds.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.n = 0
+	c.src.Seed(seed)
+}
+
+// SnapWriter serializes snapshot state as little-endian binary. All
+// lengths are explicit so SnapReader can validate against the remaining
+// payload, and map-backed state must be written in sorted key order so a
+// loaded snapshot re-serializes byte-identically.
+type SnapWriter struct {
+	b []byte
+}
+
+// Bytes returns the serialized payload.
+func (w *SnapWriter) Bytes() []byte { return w.b }
+
+// U8 writes one byte.
+func (w *SnapWriter) U8(v uint8) { w.b = append(w.b, v) }
+
+// Bool writes a bool as one byte.
+func (w *SnapWriter) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *SnapWriter) U32(v uint32) {
+	w.b = binary.LittleEndian.AppendUint32(w.b, v)
+}
+
+// U64 writes a little-endian uint64.
+func (w *SnapWriter) U64(v uint64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, v)
+}
+
+// I32 writes a little-endian int32.
+func (w *SnapWriter) I32(v int32) { w.U32(uint32(v)) }
+
+// I64 writes a little-endian int64.
+func (w *SnapWriter) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as a little-endian int64.
+func (w *SnapWriter) Int(v int) { w.I64(int64(v)) }
+
+// Words writes a length-prefixed word slice.
+func (w *SnapWriter) Words(ws []Word) {
+	w.U32(uint32(len(ws)))
+	for _, x := range ws {
+		w.U64(x)
+	}
+}
+
+// I32s writes a length-prefixed int32 slice.
+func (w *SnapWriter) I32s(vs []int32) {
+	w.U32(uint32(len(vs)))
+	for _, x := range vs {
+		w.I32(x)
+	}
+}
+
+// I64s writes a length-prefixed int64 slice.
+func (w *SnapWriter) I64s(vs []int64) {
+	w.U32(uint32(len(vs)))
+	for _, x := range vs {
+		w.I64(x)
+	}
+}
+
+// Ints writes a length-prefixed int slice as int64s.
+func (w *SnapWriter) Ints(vs []int) {
+	w.U32(uint32(len(vs)))
+	for _, x := range vs {
+		w.Int(x)
+	}
+}
+
+// Bools writes a length-prefixed bool slice.
+func (w *SnapWriter) Bools(vs []bool) {
+	w.U32(uint32(len(vs)))
+	for _, x := range vs {
+		w.Bool(x)
+	}
+}
+
+// SnapReader deserializes a SnapWriter payload with a sticky error: after
+// the first malformed read every subsequent read returns zero values, and
+// Err reports ErrBadSnapshot. Length prefixes are validated against the
+// remaining payload before any allocation.
+type SnapReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewSnapReader wraps a payload for reading.
+func NewSnapReader(b []byte) *SnapReader { return &SnapReader{b: b} }
+
+// Err returns the sticky decode error, if any.
+func (r *SnapReader) Err() error { return r.err }
+
+// Remaining returns the unconsumed byte count.
+func (r *SnapReader) Remaining() int { return len(r.b) - r.off }
+
+func (r *SnapReader) fail() {
+	if r.err == nil {
+		r.err = ErrBadSnapshot
+	}
+}
+
+func (r *SnapReader) take(n int) []byte {
+	if r.err != nil || n < 0 || r.Remaining() < n {
+		r.fail()
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *SnapReader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte bool, rejecting values other than 0 and 1.
+func (r *SnapReader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail()
+		return false
+	}
+}
+
+// U32 reads a little-endian uint32.
+func (r *SnapReader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *SnapReader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I32 reads a little-endian int32.
+func (r *SnapReader) I32() int32 { return int32(r.U32()) }
+
+// I64 reads a little-endian int64.
+func (r *SnapReader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64-encoded int.
+func (r *SnapReader) Int() int { return int(r.I64()) }
+
+// sliceLen validates a length prefix against the remaining payload at the
+// given element width.
+func (r *SnapReader) sliceLen(width int) int {
+	n := int(r.U32())
+	if r.err != nil || n*width > r.Remaining() {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// Words reads a length-prefixed word slice.
+func (r *SnapReader) Words() []Word {
+	n := r.sliceLen(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	ws := make([]Word, n)
+	for i := range ws {
+		ws[i] = r.U64()
+	}
+	return ws
+}
+
+// I32s reads a length-prefixed int32 slice.
+func (r *SnapReader) I32s() []int32 {
+	n := r.sliceLen(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = r.I32()
+	}
+	return vs
+}
+
+// I64s reads a length-prefixed int64 slice.
+func (r *SnapReader) I64s() []int64 {
+	n := r.sliceLen(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.I64()
+	}
+	return vs
+}
+
+// Ints reads a length-prefixed int slice.
+func (r *SnapReader) Ints() []int {
+	n := r.sliceLen(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = r.Int()
+	}
+	return vs
+}
+
+// Bools reads a length-prefixed bool slice.
+func (r *SnapReader) Bools() []bool {
+	n := r.sliceLen(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	vs := make([]bool, n)
+	for i := range vs {
+		vs[i] = r.Bool()
+	}
+	return vs
+}
+
+// Quiescent reports whether every node is done and all channels are
+// drained — the condition under which RunUntilQuiescent stops. Exposed for
+// replay drivers that step a restored engine round by round.
+func (e *Engine) Quiescent() bool { return e.quiescent() }
+
+// Snapshot serializes the engine's complete run state at the current round
+// boundary. The engine must have started (Init has run) and be between
+// rounds — the only points Run/RunContext ever pause at. The engine is not
+// mutated. Every node machine must implement Snapshotter, or the snapshot
+// fails with ErrNotSnapshottable naming the node.
+func (e *Engine) Snapshot() ([]byte, error) {
+	if !e.started {
+		return nil, fmt.Errorf("%w: engine has not started", ErrSnapshotState)
+	}
+	for v, ctx := range e.ctxs {
+		if len(ctx.pending) != 0 || len(ctx.sendBuf) != 0 {
+			return nil, fmt.Errorf("%w: node %d has unflushed sends", ErrSnapshotState, v)
+		}
+		if len(e.inboxes[v]) != 0 {
+			return nil, fmt.Errorf("%w: node %d has an unconsumed inbox", ErrSnapshotState, v)
+		}
+	}
+	for i := range e.staging {
+		if len(e.staging[i]) != 0 {
+			return nil, fmt.Errorf("%w: shard staging not drained", ErrSnapshotState)
+		}
+	}
+	snaps := make([]Snapshotter, len(e.nodes))
+	for v, nd := range e.nodes {
+		s, ok := nd.(Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("%w: node %d (%T)", ErrNotSnapshottable, v, nd)
+		}
+		snaps[v] = s
+	}
+
+	w := &SnapWriter{}
+	n := len(e.nodes)
+	w.U32(snapVersion)
+	w.U32(uint32(n))
+	w.U32(uint32(len(e.queues)))
+	w.U32(uint32(e.cfg.BandwidthWords))
+	w.U8(uint8(e.cfg.Mode))
+	w.U8(uint8(e.cfg.Scheduler))
+	w.I64(e.cfg.Seed)
+	w.Int(e.round)
+
+	// Metrics (Rounds tracks e.round; WordBits is derived from n).
+	w.Int(e.metrics.ActiveRounds)
+	w.I64(e.metrics.MessagesDelivered)
+	w.I64(e.metrics.WordsDelivered)
+	w.Int(e.metrics.FastForwardedRounds)
+	w.I64s(e.metrics.PerNodeWordsRecv)
+	w.I64s(e.metrics.PerNodeWordsSent)
+
+	// Active unicast channels, grouped by receiver in ascending receiver
+	// order — a canonical form shared by every shard count (the order of
+	// activeRecv/shardRecv is unobservable: delivery is per-receiver
+	// independent and the scheduled set is re-sorted every round). Within a
+	// receiver, recvActive order IS observable (it is the inbox order) and
+	// is serialized verbatim.
+	var recvs []int32
+	if e.nshards > 1 {
+		for s := range e.shardRecv {
+			recvs = append(recvs, e.shardRecv[s]...)
+		}
+	} else {
+		recvs = append(recvs, e.activeRecv...)
+	}
+	slices.Sort(recvs)
+	w.U32(uint32(len(recvs)))
+	for _, v := range recvs {
+		w.U32(uint32(v))
+		w.U32(uint32(len(e.recvActive[v])))
+		for _, eid := range e.recvActive[v] {
+			w.U32(uint32(eid))
+			q := &e.queues[eid]
+			w.Words(q.buf[q.head:])
+		}
+	}
+
+	// Broadcast queues, in activation order (observable: broadcast delivery
+	// iterates bcastActive).
+	w.U32(uint32(len(e.bcastActive)))
+	for _, u := range e.bcastActive {
+		w.U32(uint32(u))
+		q := &e.bcastQ[u]
+		w.Words(q.buf[q.head:])
+	}
+
+	// Scheduler state. The wheel is serialized verbatim — stale entries
+	// included — because stale bucket rounds still bound nextEventRound and
+	// therefore the fast-forward provenance.
+	w.Ints(e.nextWake)
+	w.I32s(e.nextReady)
+	rounds := make([]int, 0, len(e.wheel.buckets))
+	for r := range e.wheel.buckets {
+		rounds = append(rounds, r)
+	}
+	slices.Sort(rounds)
+	w.U32(uint32(len(rounds)))
+	for _, r := range rounds {
+		w.Int(r)
+		w.I32s(e.wheel.buckets[r])
+	}
+
+	// Per-context control state.
+	for _, ctx := range e.ctxs {
+		w.Int(ctx.wake)
+		w.Int(ctx.offset)
+		w.Bool(ctx.done)
+		w.I64(ctx.wordsSent)
+		var draws uint64
+		if ctx.rngSrc != nil {
+			draws = ctx.rngSrc.n
+		}
+		w.U64(draws)
+		w.U32(uint32(len(ctx.outputs)))
+		for _, t := range ctx.outputs {
+			w.I32(int32(t.A))
+			w.I32(int32(t.B))
+			w.I32(int32(t.C))
+		}
+		w.Int(ctx.seenOut)
+	}
+
+	// Per-node algorithm state, length-prefixed so restore can bound each
+	// node's reads to its own blob.
+	for v, s := range snaps {
+		lenPos := len(w.b)
+		w.U32(0)
+		if err := s.SnapshotState(w); err != nil {
+			return nil, fmt.Errorf("sim: snapshot node %d: %w", v, err)
+		}
+		binary.LittleEndian.PutUint32(w.b[lenPos:], uint32(len(w.b)-lenPos-4))
+	}
+	return w.Bytes(), nil
+}
+
+// Restore rebuilds a snapshot into this engine, which must be freshly
+// constructed or Reset with the same graph, node machines, seed and
+// config (Parallel, Workers and Shards are free to differ — the restored
+// run is bit-identical regardless). Init is not called on the nodes;
+// RestoreState replaces it. A failed restore leaves the engine in an
+// undefined state that the next Reset fully recovers.
+func (e *Engine) Restore(payload []byte) error {
+	if e.started || e.round != 0 {
+		return fmt.Errorf("%w: restore requires a freshly reset engine", ErrSnapshotState)
+	}
+	n := len(e.nodes)
+	snaps := make([]Snapshotter, n)
+	for v, nd := range e.nodes {
+		s, ok := nd.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("%w: node %d (%T)", ErrNotSnapshottable, v, nd)
+		}
+		snaps[v] = s
+	}
+	r := NewSnapReader(payload)
+	if v := r.U32(); v != snapVersion {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("%w: snapshot version %d, engine supports %d", ErrSnapshotMismatch, v, snapVersion)
+	}
+	if got := int(r.U32()); got != n {
+		return fmt.Errorf("%w: snapshot has %d nodes, engine %d", ErrSnapshotMismatch, got, n)
+	}
+	if got := int(r.U32()); got != len(e.queues) {
+		return fmt.Errorf("%w: snapshot has %d channels, engine %d", ErrSnapshotMismatch, got, len(e.queues))
+	}
+	if got := int(r.U32()); got != e.cfg.BandwidthWords {
+		return fmt.Errorf("%w: snapshot bandwidth %d, engine %d", ErrSnapshotMismatch, got, e.cfg.BandwidthWords)
+	}
+	if got := Mode(r.U8()); got != e.cfg.Mode {
+		return fmt.Errorf("%w: snapshot mode %d, engine %d", ErrSnapshotMismatch, got, e.cfg.Mode)
+	}
+	if got := Scheduler(r.U8()); got != e.cfg.Scheduler {
+		return fmt.Errorf("%w: snapshot scheduler %d, engine %d", ErrSnapshotMismatch, got, e.cfg.Scheduler)
+	}
+	if got := r.I64(); got != e.cfg.Seed {
+		return fmt.Errorf("%w: snapshot seed %d, engine %d", ErrSnapshotMismatch, got, e.cfg.Seed)
+	}
+	round := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if round < 0 {
+		return fmt.Errorf("%w: negative round", ErrBadSnapshot)
+	}
+
+	e.metrics.ActiveRounds = r.Int()
+	e.metrics.MessagesDelivered = r.I64()
+	e.metrics.WordsDelivered = r.I64()
+	e.metrics.FastForwardedRounds = r.Int()
+	for _, slab := range []struct{ dst []int64 }{{e.metrics.PerNodeWordsRecv}, {e.metrics.PerNodeWordsSent}} {
+		vs := r.I64s()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if len(vs) != n {
+			return fmt.Errorf("%w: per-node metric slab has %d entries, want %d", ErrBadSnapshot, len(vs), n)
+		}
+		copy(slab.dst, vs)
+	}
+
+	// Active unicast channels: rebuild queues, stamps, activation lists and
+	// queued-word accounting. Receivers arrive in ascending order, which
+	// becomes the restored activation order — unobservable, and identical
+	// for every shard count.
+	nrecv := int(r.U32())
+	prev := int32(-1)
+	for i := 0; i < nrecv; i++ {
+		v := int32(r.U32())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if v <= prev || int(v) >= n {
+			return fmt.Errorf("%w: receiver %d out of order or range", ErrBadSnapshot, v)
+		}
+		prev = v
+		neid := int(r.U32())
+		if r.Err() != nil || neid == 0 {
+			if r.Err() != nil {
+				return r.Err()
+			}
+			return fmt.Errorf("%w: active receiver %d with no active channels", ErrBadSnapshot, v)
+		}
+		total := int64(0)
+		e.recvActive[v] = e.recvActive[v][:0]
+		for j := 0; j < neid; j++ {
+			eid := int32(r.U32())
+			ws := r.Words()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if eid < 0 || int(eid) >= len(e.queues) || e.commTgts[eid] != v {
+				return fmt.Errorf("%w: channel %d is not an in-edge of receiver %d", ErrBadSnapshot, eid, v)
+			}
+			if len(ws) == 0 {
+				return fmt.Errorf("%w: active channel %d with no queued words", ErrBadSnapshot, eid)
+			}
+			if e.edgeStamp[eid] == e.epoch {
+				return fmt.Errorf("%w: channel %d appears twice", ErrBadSnapshot, eid)
+			}
+			e.edgeStamp[eid] = e.epoch
+			q := &e.queues[eid]
+			q.buf = append(q.buf[:0], ws...)
+			q.head = 0
+			e.recvActive[v] = append(e.recvActive[v], eid)
+			total += int64(len(ws))
+		}
+		e.recvStamp[v] = e.epoch
+		e.recvQueued[v] = total
+		e.queuedWords += total
+		if e.nshards > 1 {
+			t := e.shardOf[v]
+			e.shardRecv[t] = append(e.shardRecv[t], v)
+		} else {
+			e.activeRecv = append(e.activeRecv, v)
+		}
+	}
+
+	// Broadcast queues, activation order preserved.
+	nbcast := int(r.U32())
+	for i := 0; i < nbcast; i++ {
+		u := int32(r.U32())
+		ws := r.Words()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if int(u) >= n || e.bcastQ == nil {
+			return fmt.Errorf("%w: broadcast sender %d invalid for this mode", ErrBadSnapshot, u)
+		}
+		if len(ws) == 0 || e.bcastInSet[u] {
+			return fmt.Errorf("%w: broadcast sender %d empty or duplicated", ErrBadSnapshot, u)
+		}
+		e.bcastInSet[u] = true
+		e.bcastActive = append(e.bcastActive, u)
+		q := &e.bcastQ[u]
+		q.buf = append(q.buf[:0], ws...)
+		q.head = 0
+	}
+
+	// Scheduler state.
+	nextWake := r.Ints()
+	nextReady := r.I32s()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if len(nextWake) != n {
+		return fmt.Errorf("%w: nextWake slab has %d entries, want %d", ErrBadSnapshot, len(nextWake), n)
+	}
+	copy(e.nextWake, nextWake)
+	for _, v := range nextReady {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("%w: nextReady node %d out of range", ErrBadSnapshot, v)
+		}
+	}
+	e.nextReady = append(e.nextReady[:0], nextReady...)
+	nbuckets := int(r.U32())
+	prevRound := -1
+	for i := 0; i < nbuckets; i++ {
+		br := r.Int()
+		entries := r.I32s()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if br <= prevRound || len(entries) == 0 {
+			return fmt.Errorf("%w: wheel bucket %d out of order or empty", ErrBadSnapshot, br)
+		}
+		prevRound = br
+		for _, v := range entries {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("%w: wheel entry %d out of range", ErrBadSnapshot, v)
+			}
+			e.wheel.push(br, v)
+		}
+	}
+
+	// Per-context control state.
+	notDone := 0
+	for v, ctx := range e.ctxs {
+		ctx.wake = r.Int()
+		ctx.offset = r.Int()
+		ctx.done = r.Bool()
+		ctx.wordsSent = r.I64()
+		draws := r.U64()
+		nout := r.sliceLen(12)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		ctx.outputs = ctx.outputs[:0]
+		for j := 0; j < nout; j++ {
+			a, b, c := r.I32(), r.I32(), r.I32()
+			ctx.outputs = append(ctx.outputs, graph.Triangle{A: int(a), B: int(b), C: int(c)})
+		}
+		ctx.seenOut = r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if ctx.seenOut < 0 || ctx.seenOut > len(ctx.outputs) {
+			return fmt.Errorf("%w: node %d seenOut %d of %d outputs", ErrBadSnapshot, v, ctx.seenOut, len(ctx.outputs))
+		}
+		e.doneMark[v] = ctx.done
+		if !ctx.done {
+			notDone++
+		}
+		if draws > 0 {
+			ctx.RNG()
+			for i := uint64(0); i < draws; i++ {
+				ctx.rngSrc.Uint64()
+			}
+		}
+	}
+	e.notDone = notDone
+
+	// Per-node algorithm state: each node reads exactly its own blob.
+	for v, s := range snaps {
+		blobLen := r.sliceLen(1)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		blob := r.take(blobLen)
+		sub := NewSnapReader(blob)
+		if err := s.RestoreState(sub); err != nil {
+			return fmt.Errorf("sim: restore node %d: %w", v, err)
+		}
+		if sub.Err() != nil {
+			return fmt.Errorf("sim: restore node %d: %w", v, sub.Err())
+		}
+		if sub.Remaining() != 0 {
+			return fmt.Errorf("%w: node %d left %d bytes of its state unread", ErrBadSnapshot, v, sub.Remaining())
+		}
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, r.Remaining())
+	}
+
+	e.round = round
+	e.metrics.Rounds = round
+	e.started = true
+	return nil
+}
