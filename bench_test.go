@@ -406,6 +406,16 @@ func BenchmarkEngineStepSparse(b *testing.B) {
 	b.Run("activity", perf.EngineStepSparse(sim.SchedulerActivity))
 }
 
+// BenchmarkEngineStepFaulty — the fault layer's cost model on the sparse
+// workload: nilplan is the same configuration with no plan set (its ratio
+// against EngineStepSparse/activity is the `fault_nilplan_vs_sparse`
+// zero-overhead floor in BENCH_engine.json), lossdelay arms per-link loss
+// and bounded delay and records what the fault coins cost per round.
+func BenchmarkEngineStepFaulty(b *testing.B) {
+	b.Run("nilplan", perf.EngineStepFaulty(false))
+	b.Run("lossdelay", perf.EngineStepFaulty(true))
+}
+
 // BenchmarkCheckpoint — the checkpoint subsystem's cost model on the
 // sparse workload: full-state serialization (save), the resume path
 // (fresh engine + restore) and the coldstart it competes with (fresh

@@ -73,12 +73,15 @@ func TestGateLifecycle(t *testing.T) {
 		t.Fatalf("baseline run missing num_cpu provenance: %+v", rep)
 	}
 
-	// Same machine, immediate re-run: the gate must pass. Floors stay on:
-	// even at one measured round the sparse fast-forward beats the dense
-	// scan by far more than 2x. The time band is opened wide because a
-	// single sub-microsecond iteration is pure timer noise — this test
-	// exercises the gate mechanics, not timing stability.
-	code, out, errb = runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-time-tol", "1e6")
+	// Same machine, immediate re-run: the gate must pass. The time band is
+	// opened wide and floors are off because a single sub-microsecond
+	// iteration is pure timer noise — the wide speedup floors (sparse
+	// fast-forward vs dense scan) would survive it, but the near-1.0
+	// fault_nilplan_vs_sparse floor legitimately cannot. This test
+	// exercises the gate mechanics, not timing stability; floor mechanics
+	// are unit-tested in internal/perf (TestCompareFloors) and enforced
+	// for real by CI's 500ms gate runs.
+	code, out, errb = runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-time-tol", "1e6", "-floors=false")
 	if code != 0 {
 		t.Fatalf("gate: exit %d\nstdout: %s\nstderr: %s", code, out, errb)
 	}
@@ -94,7 +97,7 @@ func TestGateLifecycle(t *testing.T) {
 	if err := perf.WriteFile(base, file); err != nil {
 		t.Fatal(err)
 	}
-	code, _, errb = runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-time-tol", "1e6")
+	code, _, errb = runBench(t, "-baseline", base, "-suite", "engine", "-benchtime", "1x", "-time-tol", "1e6", "-floors=false")
 	if code != 1 || !strings.Contains(errb, "regression gate: FAIL") {
 		t.Fatalf("tampered gate: exit %d, stderr %q", code, errb)
 	}

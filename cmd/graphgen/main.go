@@ -1,5 +1,6 @@
 // Command graphgen generates benchmark input graphs in the repository's
-// text edge-list or binary CSR (.csrbin) formats and reports their triangle
+// text edge-list, SNAP edge-list (.snap) or binary CSR (.csrbin) formats
+// and reports their triangle
 // structure (the quantities the paper's algorithms key on: #(e) heaviness
 // census, degree distribution, diameter). Graph sourcing goes through the
 // public repro/congest spec path; the structural census uses the graph
@@ -38,7 +39,7 @@ func run(args []string, out *os.File) error {
 	gf.Register(fs)
 	var (
 		o      = fs.String("o", "", "write the graph to this file")
-		format = fs.String("format", "auto", "output format: auto|text|csrbin (auto picks csrbin for a .csrbin -o path)")
+		format = fs.String("format", "auto", "output format: auto|text|snap|csrbin (auto picks csrbin for a .csrbin -o path, snap for .snap)")
 		stats  = fs.Bool("stats", true, "print structural statistics")
 		eps    = fs.Float64("eps", 0.5, "heaviness exponent for the #(e) census")
 	)
@@ -55,12 +56,16 @@ func run(args []string, out *os.File) error {
 		case "auto":
 			if strings.HasSuffix(*o, ".csrbin") {
 				write = graph.WriteCSRBinary
+			} else if strings.HasSuffix(*o, ".snap") {
+				write = graph.WriteSNAPEdgeList
 			}
 		case "text":
+		case "snap":
+			write = graph.WriteSNAPEdgeList
 		case "csrbin":
 			write = graph.WriteCSRBinary
 		default:
-			return fmt.Errorf("unknown -format %q (auto|text|csrbin)", *format)
+			return fmt.Errorf("unknown -format %q (auto|text|snap|csrbin)", *format)
 		}
 		f, err := os.Create(*o)
 		if err != nil {

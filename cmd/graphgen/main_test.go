@@ -20,6 +20,35 @@ func TestGenerateWriteReload(t *testing.T) {
 	}
 }
 
+// TestSNAPWriteReload: -format snap (and the .snap auto pick) writes the
+// SNAP dialect, and -load ingests it back through the auto-detecting
+// reader.
+func TestSNAPWriteReload(t *testing.T) {
+	dir := t.TempDir()
+	auto := filepath.Join(dir, "g.snap")
+	if err := run([]string{"-gen", "gnp", "-n", "24", "-p", "0.5", "-o", auto, "-stats=false"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	explicit := filepath.Join(dir, "g2.txt")
+	if err := run([]string{"-gen", "gnp", "-n", "24", "-p", "0.5", "-o", explicit, "-format", "snap", "-stats=false"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("-format snap and .snap auto pick disagree")
+	}
+	if err := run([]string{"-load", auto, "-eps", "0.3"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGenerateAllFamiliesStats(t *testing.T) {
 	for _, g := range []string{"gnp", "complete", "bipartite", "ba", "planted", "heavy", "regular", "ring", "chords", "empty"} {
 		if err := run([]string{"-gen", g, "-n", "20", "-k", "3"}, os.Stdout); err != nil {

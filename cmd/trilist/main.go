@@ -16,10 +16,19 @@
 //	trilist -gen gnp -n 256 -p 0.1 -algo list -checkpoint every=8,dir=/tmp/ck -cancel-at 20
 //	trilist -gen gnp -n 256 -p 0.1 -algo list -checkpoint every=8,dir=/tmp/ck -resume
 //	trilist -gen gnp -n 256 -p 0.1 -algo list -checkpoint every=8,dir=/tmp/ck -replay-round 13
+//
+// Fault injection (deterministic; same plan + same spec = same result):
+//
+//	trilist -gen gnp -n 64 -p 0.5 -algo list -faults loss=0.1,dup=0.02,seed=11
+//	trilist -gen gnp -n 64 -p 0.5 -algo list -faults crash=3@5,crash=17@0,delayMax=2
+//	trilist -gen gnp -n 64 -p 0.5 -algo list -faults link=0>1@4,seed=7
+//	trilist -gen gnp -n 64 -p 0.5 -algo list -faults @plan.json
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +68,7 @@ func run(args []string) error {
 		resume   = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint dir (cold start when none)")
 		replayR  = fs.Int("replay-round", -1, "replay this round's observation stream from the nearest checkpoint instead of running")
 		cancelAt = fs.Int("cancel-at", 0, "cancel the run after this many executed rounds (0 = never); pairs with -checkpoint for kill/resume drills")
+		faultsF  = fs.String("faults", "", "fault plan: \"@file.json\" (FaultSpec JSON) or compact \"seed=S,loss=R,dup=R,delayMax=K,crash=NODE@ROUND,link=FROM>TO@K\" (crash/link repeatable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +94,11 @@ func run(args []string) error {
 		return err
 	}
 	spec.Checkpoint = cs
+	fspec, err := parseFaultsFlag(*faultsF)
+	if err != nil {
+		return err
+	}
+	spec.Faults = fspec
 	if *replayR >= 0 {
 		return replay(spec, *replayR, *workers)
 	}
@@ -124,6 +139,14 @@ func run(args []string) error {
 	}
 	if ck := res.Meta.Checkpoint; ck != nil {
 		fmt.Printf("ckpt:  dir=%s every=%d spec=%s\n", ck.Dir, ck.Every, ck.SpecHash)
+	}
+	if fm := res.Meta.Faults; fm != nil {
+		fmt.Printf("fault: plan=%s crashes=%d loss=%g dup=%g delayMax=%d links=%d\n",
+			fm.Hash, fm.Crashes, fm.Loss, fm.Dup, fm.DelayMax, fm.DelayLinks)
+		if fc := res.Metrics.Faults; fc != nil {
+			fmt.Printf("fault: crashed=%d wordsLost=%d wordsDup=%d droppedAtCrash=%d delayed=%d\n",
+				fc.NodesCrashed, fc.WordsLost, fc.WordsDuplicated, fc.WordsDroppedCrash, fc.DelayedDeliveries)
+		}
 	}
 	if res.Churn != nil {
 		fmt.Printf("churn: workload=%s epochs=%d born=%d died=%d finalCount=%d\n",
@@ -188,6 +211,85 @@ func parseCheckpointFlag(s string, resume bool) (*congest.CheckpointSpec, error)
 		}
 	}
 	return cs, nil
+}
+
+// parseFaultsFlag parses "-faults": "@file.json" loads a FaultSpec JSON
+// document (unknown fields rejected, like the job API); anything else is
+// the compact comma-separated key=value form with repeatable crash=N@R and
+// link=F>T@K entries.
+func parseFaultsFlag(s string) (*congest.FaultSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if path, ok := strings.CutPrefix(s, "@"); ok {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(blob))
+		dec.DisallowUnknownFields()
+		f := &congest.FaultSpec{}
+		if err := dec.Decode(f); err != nil {
+			return nil, fmt.Errorf("bad -faults file %s: %v", path, err)
+		}
+		return f, nil
+	}
+	f := &congest.FaultSpec{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -faults entry %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			f.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "loss":
+			f.Loss, err = strconv.ParseFloat(v, 64)
+		case "dup":
+			f.Dup, err = strconv.ParseFloat(v, 64)
+		case "delayMax":
+			f.DelayMax, err = strconv.Atoi(v)
+		case "crash":
+			node, round, ok := strings.Cut(v, "@")
+			if !ok {
+				err = fmt.Errorf("want NODE@ROUND")
+				break
+			}
+			var c congest.FaultCrash
+			if c.Node, err = strconv.Atoi(node); err != nil {
+				break
+			}
+			if c.Round, err = strconv.Atoi(round); err != nil {
+				break
+			}
+			f.Crashes = append(f.Crashes, c)
+		case "link":
+			ft, kk, ok := strings.Cut(v, "@")
+			from, to, ok2 := strings.Cut(ft, ">")
+			if !ok || !ok2 {
+				err = fmt.Errorf("want FROM>TO@K")
+				break
+			}
+			var l congest.FaultLink
+			if l.From, err = strconv.Atoi(from); err != nil {
+				break
+			}
+			if l.To, err = strconv.Atoi(to); err != nil {
+				break
+			}
+			if l.K, err = strconv.Atoi(kk); err != nil {
+				break
+			}
+			f.DelayLinks = append(f.DelayLinks, l)
+		default:
+			return nil, fmt.Errorf("unknown -faults key %q (want seed, loss, dup, delayMax, crash, link)", k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad -faults entry %q: %v", kv, err)
+		}
+	}
+	return f, nil
 }
 
 // replay re-derives one round's observation stream from the nearest

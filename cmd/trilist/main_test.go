@@ -67,3 +67,42 @@ func TestRunLoadsEdgeList(t *testing.T) {
 		t.Fatalf("run with -load: %v", err)
 	}
 }
+
+// TestRunFaultsFlag covers both -faults forms end to end: compact
+// key=value plans and an @file JSON plan, plus the malformed-entry errors.
+func TestRunFaultsFlag(t *testing.T) {
+	base := []string{"-gen", "gnp", "-n", "24", "-p", "0.5", "-algo", "list"}
+	for _, plan := range []string{
+		"loss=0.2,dup=0.05,seed=11",
+		"crash=3@5,crash=7@0,delayMax=2",
+		"link=0>1@4,seed=9",
+	} {
+		if err := run(append(append([]string{}, base...), "-faults", plan)); err != nil {
+			t.Fatalf("-faults %q: %v", plan, err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	blob := `{"seed": 11, "crashes": [{"node": 3, "round": 5}], "loss": 0.1, "delayMax": 2}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-faults", "@"+path)); err != nil {
+		t.Fatalf("-faults @file: %v", err)
+	}
+	for _, bad := range []string{
+		"loss=2",         // out of range (validation)
+		"loss",           // not key=value
+		"crash=3",        // missing @ROUND
+		"link=0@4",       // missing >TO
+		"nope=1",         // unknown key
+		"crash=x@1",      // bad node
+		"@/missing/plan", // unreadable file
+	} {
+		if err := run(append(append([]string{}, base...), "-faults", bad)); err == nil {
+			t.Fatalf("-faults %q accepted", bad)
+		}
+	}
+	if err := run([]string{"-gen", "gnp", "-n", "16", "-algo", "count", "-faults", "loss=0.1"}); err == nil {
+		t.Fatal("faults accepted for algo count")
+	}
+}

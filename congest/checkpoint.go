@@ -170,7 +170,7 @@ func (s *Session) Replay(spec JobSpec, from, to int, obs Observer) (ReplayInfo, 
 	}
 	g := sg.g
 	cfg := sim.Config{Mode: modeFor(spec.Algo), BandwidthWords: spec.bandwidth(), Seed: spec.Seed,
-		Parallel: spec.Parallel, Shards: spec.Shards}
+		Parallel: spec.Parallel, Shards: spec.Shards, Faults: spec.Faults.plan()}
 	meta := ckptMetaOf(spec, g, cfg)
 	ck, _, err := checkpoint.Nearest(spec.Checkpoint.Dir, meta.SpecHash, from)
 	if err != nil {
@@ -204,6 +204,11 @@ func (s *Session) Replay(spec JobSpec, from, to int, obs Observer) (ReplayInfo, 
 			Triangle: func(node int, t graph.Triangle) {
 				obs.OnTriangle(node, Triangle{t.A, t.B, t.C})
 			},
+		}
+		if fo, ok := obs.(FaultObserver); ok {
+			hooks.Fault = func(ev sim.FaultEvent) {
+				fo.OnFault(FaultEvent{Kind: ev.Kind, Node: ev.Node, Round: ev.Round})
+			}
 		}
 	}
 	if err := checkpoint.Replay(eng, ck, from, to, hooks); err != nil {

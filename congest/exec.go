@@ -92,7 +92,7 @@ func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Resul
 	g := sg.g
 	b := spec.bandwidth()
 	cfg := sim.Config{Mode: modeFor(spec.Algo), BandwidthWords: b, Seed: spec.Seed,
-		Parallel: spec.Parallel, Shards: spec.Shards}
+		Parallel: spec.Parallel, Shards: spec.Shards, Faults: spec.Faults.plan()}
 	if spec.Algo == "count" {
 		return s.runCount(ctx, spec, g, cfg)
 	}
@@ -120,6 +120,7 @@ func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Resul
 
 	meta := metaOf(spec.Algo, res.Meta, ab.eps, ab.reps)
 	meta.Checkpoint = ckMeta
+	meta.Faults = faultSummaryOf(spec.Faults)
 	out := Result{
 		Meta:          meta,
 		Graph:         graphInfoOf(g),
@@ -127,6 +128,9 @@ func (s *Session) runJob(ctx context.Context, spec JobSpec, obs Observer) (Resul
 		Found:         len(res.Union) > 0,
 		TriangleCount: len(res.Union),
 		Triangles:     trianglesOf(res.Union, spec.MaxTriangles),
+	}
+	if spec.Faults != nil {
+		out.Metrics.Faults = faultCountersOf(res.Metrics.Faults)
 	}
 	if runErr != nil {
 		// Cancelled: the prefix result stands; verification would report a

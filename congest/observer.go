@@ -45,13 +45,46 @@ type Observer interface {
 	OnTriangle(node int, t Triangle)
 }
 
+// FaultEvent is a fault-layer occurrence in a faulty job: Kind "crash"
+// reports a crash-stop kill taking effect at Round. Events stream in
+// deterministic (round, node) order, before the round's OnRound.
+type FaultEvent struct {
+	Kind  string `json:"kind"`
+	Node  int    `json:"node"`
+	Round int    `json:"round"`
+}
+
+// FaultObserver is an optional Observer extension: observers that also
+// implement it receive the fault events of jobs run with JobSpec.Faults
+// (fault-free jobs emit none). Like every observer callback, the stream
+// is deterministic and independent of engine parallelism.
+type FaultObserver interface {
+	Observer
+	OnFault(ev FaultEvent)
+}
+
 // obsAdapter bridges the public Observer to the internal core.Observer.
 type obsAdapter struct{ obs Observer }
+
+// faultObsAdapter additionally bridges the fault-event stream; built only
+// when the public observer opts in, so plain observers never match the
+// internal FaultObserver extension.
+type faultObsAdapter struct {
+	obsAdapter
+	f FaultObserver
+}
+
+func (a faultObsAdapter) OnFault(ev sim.FaultEvent) {
+	a.f.OnFault(FaultEvent{Kind: ev.Kind, Node: ev.Node, Round: ev.Round})
+}
 
 // coreObs wraps a public observer for internal runs; nil stays nil.
 func coreObs(obs Observer) core.Observer {
 	if obs == nil {
 		return nil
+	}
+	if fo, ok := obs.(FaultObserver); ok {
+		return faultObsAdapter{obsAdapter{obs: obs}, fo}
 	}
 	return obsAdapter{obs: obs}
 }

@@ -1,7 +1,10 @@
 package congest
 
 import (
+	"fmt"
+
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -35,6 +38,24 @@ type Metrics struct {
 	// MaxNodeRecvBits is the largest per-node received-bit count (the
 	// transcript length the Theorem-3 bound reasons about).
 	MaxNodeRecvBits int64 `json:"maxNodeRecvBits"`
+	// Faults aggregates the fault layer's interventions; present exactly
+	// when the job carried a fault plan.
+	Faults *FaultCounters `json:"faults,omitempty"`
+}
+
+// FaultCounters is the fault layer's intervention accounting for one run.
+type FaultCounters struct {
+	// NodesCrashed is the crash-stop kills applied.
+	NodesCrashed int `json:"nodesCrashed"`
+	// WordsLost is the words dropped by loss coins (bandwidth consumed).
+	WordsLost int64 `json:"wordsLost"`
+	// WordsDuplicated is the extra words delivered by duplication coins.
+	WordsDuplicated int64 `json:"wordsDuplicated"`
+	// WordsDroppedCrash is the words drained toward crashed receivers.
+	WordsDroppedCrash int64 `json:"wordsDroppedCrash"`
+	// DelayedDeliveries is the channel-round delivery attempts deferred by
+	// delay arming.
+	DelayedDeliveries int64 `json:"delayedDeliveries"`
 }
 
 // SegmentPlan is one row of a run's round budget.
@@ -86,6 +107,24 @@ type RunMeta struct {
 	// identity. Configuration only — a resumed job's Result is
 	// byte-identical to the uninterrupted one.
 	Checkpoint *CheckpointMeta `json:"checkpoint,omitempty"`
+	// Faults is the fault-injection provenance (nil for fault-free jobs):
+	// the plan's canonical identity and shape, so a faulty result is
+	// self-describing. The intervention counts live in Metrics.Faults.
+	Faults *FaultSummary `json:"faults,omitempty"`
+}
+
+// FaultSummary is the fault-plan provenance a faulty run's meta carries.
+type FaultSummary struct {
+	// Hash is the plan's canonical fingerprint (hex) — the identity engine
+	// snapshots validate on checkpoint resume.
+	Hash string `json:"hash"`
+	// Crashes and DelayLinks count the plan's schedule entries; Loss, Dup
+	// and DelayMax echo its rates.
+	Crashes    int     `json:"crashes,omitempty"`
+	Loss       float64 `json:"loss,omitempty"`
+	Dup        float64 `json:"dup,omitempty"`
+	DelayMax   int     `json:"delayMax,omitempty"`
+	DelayLinks int     `json:"delayLinks,omitempty"`
 }
 
 // VerifyReport is the outcome of a job's verification pass.
@@ -198,6 +237,33 @@ func metricsOf(m sim.Metrics) Metrics {
 		WordBits:          m.WordBits,
 		TotalBits:         m.TotalBits(),
 		MaxNodeRecvBits:   maxRecv,
+	}
+}
+
+// faultCountersOf converts engine fault metrics to the public form.
+func faultCountersOf(m sim.FaultMetrics) *FaultCounters {
+	return &FaultCounters{
+		NodesCrashed:      m.NodesCrashed,
+		WordsLost:         m.WordsLost,
+		WordsDuplicated:   m.WordsDuplicated,
+		WordsDroppedCrash: m.WordsDroppedCrash,
+		DelayedDeliveries: m.DelayedDeliveries,
+	}
+}
+
+// faultSummaryOf builds the meta provenance for a fault spec; nil stays
+// nil.
+func faultSummaryOf(fs *FaultSpec) *FaultSummary {
+	if fs == nil {
+		return nil
+	}
+	return &FaultSummary{
+		Hash:       fmt.Sprintf("%016x", faults.Fingerprint(fs.plan())),
+		Crashes:    len(fs.Crashes),
+		Loss:       fs.Loss,
+		Dup:        fs.Dup,
+		DelayMax:   fs.DelayMax,
+		DelayLinks: len(fs.DelayLinks),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -34,12 +35,15 @@ type sessionGraph struct {
 }
 
 // runnerKey identifies an engine configuration (seed excluded: every run
-// names its own).
+// names its own). The fault-plan fingerprint is part of the identity:
+// pooled engines carry their compiled plan across resets, so runs under
+// different plans must never share a pool.
 type runnerKey struct {
 	mode     sim.Mode
 	b        int
 	parallel bool
 	shards   int
+	faults   uint64
 }
 
 // NewSession returns an empty session. WithOracleWorkers defaults to all
@@ -94,7 +98,8 @@ func (s *Session) graphFor(gs GraphSpec) (*sessionGraph, error) {
 
 // runner returns the cached engine pool for (graph, config).
 func (sg *sessionGraph) runner(cfg sim.Config) *core.Runner {
-	key := runnerKey{mode: cfg.Mode, b: cfg.BandwidthWords, parallel: cfg.Parallel, shards: cfg.Shards}
+	key := runnerKey{mode: cfg.Mode, b: cfg.BandwidthWords, parallel: cfg.Parallel,
+		shards: cfg.Shards, faults: faults.Fingerprint(cfg.Faults)}
 	sg.mu.Lock()
 	defer sg.mu.Unlock()
 	r, ok := sg.runners[key]

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/dynamic"
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -21,7 +22,11 @@ import (
 type GraphSpec struct {
 	// File is a graph file path. Files ending in ".csrbin" are read as the
 	// repository's binary CSR container (memory-mapped where the platform
-	// supports it); anything else is parsed as the text edge-list format.
+	// supports it); anything else is parsed as a text edge list, with the
+	// dialect auto-detected per line one: the repository's "n <count>"
+	// header format, or the headerless SNAP dump dialect (comment lines,
+	// arbitrary non-contiguous node IDs relabeled densely, duplicate edges
+	// and self-loops dropped).
 	File string `json:"file,omitempty"`
 	// Generator is a registered generator name; see GeneratorNames.
 	Generator string `json:"generator,omitempty"`
@@ -83,7 +88,7 @@ func (gs GraphSpec) build() (*graph.Graph, error) {
 			return nil, err
 		}
 		defer f.Close()
-		return graph.ReadEdgeList(f)
+		return graph.ReadEdgeListAuto(f)
 	case gs.Generator != "":
 		rng := rand.New(rand.NewSource(gs.Seed))
 		return graph.GeneratorByName(gs.Generator, gs.N, gs.P, gs.K, rng)
@@ -123,6 +128,65 @@ type ChurnSpec struct {
 	// Window is the sliding-window length ("window" workload only). Zero
 	// means the seed graph's edge count.
 	Window int `json:"window,omitempty"`
+}
+
+// FaultCrash schedules the crash-stop failure of one node: from round
+// Round on, the node's handler never runs again. Words it queued before
+// crashing drain normally; words addressed to it drain and are dropped.
+type FaultCrash struct {
+	Node  int `json:"node"`
+	Round int `json:"round"`
+}
+
+// FaultLink pins one directed link's delivery delay to exactly K rounds
+// per activation burst, overriding the seeded distribution. An entry with
+// To == From addresses node From's shared broadcast channel (broadcast
+// CONGEST jobs).
+type FaultLink struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	K    int `json:"k"`
+}
+
+// FaultSpec is a job's declarative fault plan: crash-stop schedules,
+// per-link loss/duplication coins and non-uniform delivery delay. All
+// randomness derives from Seed (independent of the engine seed), so a
+// faulty job remains fully determined by its spec — bit-identical across
+// Parallel, Shards and checkpoint cut-and-resume, like every other job.
+// Fault injection is supported for every engine-run algorithm; count and
+// churn jobs reject it.
+type FaultSpec struct {
+	// Seed derives every fault coin.
+	Seed int64 `json:"seed,omitempty"`
+	// Crashes lists crash-stop failures.
+	Crashes []FaultCrash `json:"crashes,omitempty"`
+	// Loss is the per-(round, directed edge) probability in [0, 1] that a
+	// delivered batch is dropped (after consuming bandwidth).
+	Loss float64 `json:"loss,omitempty"`
+	// Dup is the per-(round, directed edge) probability in [0, 1] that a
+	// delivered batch arrives twice in the same round.
+	Dup float64 `json:"dup,omitempty"`
+	// DelayMax, when positive, delays each activation burst of each edge
+	// by a seeded uniform draw from [0, DelayMax] rounds.
+	DelayMax int `json:"delayMax,omitempty"`
+	// DelayLinks is the adversarial delay table overriding DelayMax.
+	DelayLinks []FaultLink `json:"delayLinks,omitempty"`
+}
+
+// plan converts the public fault spec to the engine-level plan; nil stays
+// nil.
+func (fs *FaultSpec) plan() *faults.Plan {
+	if fs == nil {
+		return nil
+	}
+	p := &faults.Plan{Seed: fs.Seed, Loss: fs.Loss, Dup: fs.Dup, DelayMax: fs.DelayMax}
+	for _, c := range fs.Crashes {
+		p.Crashes = append(p.Crashes, faults.Crash{Node: c.Node, Round: c.Round})
+	}
+	for _, l := range fs.DelayLinks {
+		p.DelayLinks = append(p.DelayLinks, faults.LinkDelay{From: l.From, To: l.To, K: l.K})
+	}
+	return p
 }
 
 // Verification modes for JobSpec.Verify.
@@ -192,6 +256,9 @@ type JobSpec struct {
 	// Checkpoint enables periodic engine snapshots (and resume) for this
 	// job; see CheckpointSpec. Not supported for count/churn.
 	Checkpoint *CheckpointSpec `json:"checkpoint,omitempty"`
+	// Faults injects deterministic faults into the run; see FaultSpec.
+	// Not supported for count/churn.
+	Faults *FaultSpec `json:"faults,omitempty"`
 }
 
 // algoSet is the closed set of job algorithm names.
@@ -251,6 +318,14 @@ func (s JobSpec) Validate() error {
 		}
 		if s.Checkpoint.Every < 0 {
 			return fmt.Errorf("congest: negative checkpoint cadence %d", s.Checkpoint.Every)
+		}
+	}
+	if s.Faults != nil {
+		if s.Algo == "count" || s.Algo == "churn" {
+			return fmt.Errorf("congest: fault injection is not supported for algo %q", s.Algo)
+		}
+		if err := s.Faults.plan().Validate(); err != nil {
+			return fmt.Errorf("congest: %w", err)
 		}
 	}
 	if (s.Algo == "churn") != (s.Churn != nil) {

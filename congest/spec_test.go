@@ -137,6 +137,30 @@ func TestRunCSRBinFileAndShards(t *testing.T) {
 	}
 }
 
+// TestRunSNAPFileAutoDetect: a headerless SNAP edge-list file (comments,
+// non-contiguous IDs, duplicates, a self-loop) loads through the GraphSpec
+// file path's format sniffing, and a job over it matches the same job over
+// the equivalent inline graph.
+func TestRunSNAPFileAutoDetect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "web.txt") // no special suffix needed
+	blob := "# SNAP dump\n1000\t7\n7\t33\n33\t1000\n1000 7\n33 33\n"
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := Run(context.Background(), JobSpec{Graph: GraphSpec{File: path}, Algo: "list", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline := GraphSpec{N: 3, Edges: [][2]int{{0, 1}, {0, 2}, {1, 2}}}
+	want, err := Run(context.Background(), JobSpec{Graph: inline, Algo: "list", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile, want) {
+		t.Fatalf("SNAP-sourced run diverges from inline equivalent\ngot:  %+v\nwant: %+v", fromFile, want)
+	}
+}
+
 // TestRunUnknownGeneratorAndMissingFile: a valid-shape spec can still fail
 // environmentally, with a useful error.
 func TestRunUnknownGeneratorAndMissingFile(t *testing.T) {

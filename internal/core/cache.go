@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -40,6 +41,9 @@ type engineKey struct {
 	workers   int
 	scheduler sim.Scheduler
 	shards    int
+	// faults is the fault-plan fingerprint: engines carry their compiled
+	// plan across Reset/Rebind, so plans are part of the slab identity.
+	faults uint64
 }
 
 // maxFreePerKey bounds the idle engines (and node slices) retained per
@@ -60,7 +64,7 @@ func keyFor(n int, cfg sim.Config) engineKey {
 	cfg = cfg.Normalized()
 	return engineKey{n: n, mode: cfg.Mode, bandwidth: cfg.BandwidthWords,
 		parallel: cfg.Parallel, workers: cfg.Workers, scheduler: cfg.Scheduler,
-		shards: cfg.Shards}
+		shards: cfg.Shards, faults: faults.Fingerprint(cfg.Faults)}
 }
 
 func (c *EngineCache) getNodes(n int) []sim.Node {

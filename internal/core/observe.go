@@ -34,6 +34,15 @@ type Observer interface {
 	OnTriangle(node int, t graph.Triangle)
 }
 
+// FaultObserver is an optional Observer extension: observers that also
+// implement it receive the engine's fault events (crash-stop kills) for
+// runs configured with a fault plan, on the same deterministic stream as
+// the other callbacks (a fault event precedes its round's OnRound).
+type FaultObserver interface {
+	Observer
+	OnFault(ev sim.FaultEvent)
+}
+
 // collector rebuilds the materialized Result fields from the streaming
 // callbacks: per-node outputs in emission order plus the deduplicated
 // union. It is the bridge between the observer contract and the legacy
@@ -68,6 +77,9 @@ func hooksFor(col *collector, obs Observer) sim.Hooks {
 	}
 	if obs != nil {
 		h.Round = obs.OnRound
+		if fo, ok := obs.(FaultObserver); ok {
+			h.Fault = fo.OnFault
+		}
 	}
 	return h
 }

@@ -52,6 +52,13 @@ func (p *phasedNode) Round(ctx *sim.Context, round int, inbox []sim.Delivery) {
 	// Words delivered at round r were in flight during round r-1, hence
 	// belong to the phase covering r-1.
 	for _, d := range inbox {
+		if round == 0 {
+			// Fault-free phased runs never see inbox words at round 0
+			// (Init sends nothing), but fault-injected delay or
+			// duplication can carry a previous segment's words across
+			// the boundary. Those belong to no phase of this schedule.
+			continue
+		}
 		ph, _ := p.sched.PhaseAt(round - 1)
 		p.h.Receive(ctx, ph, d)
 	}

@@ -229,7 +229,10 @@ func runPlanned(ctx context.Context, eng *sim.Engine, plan []SegmentPlan, obs Ob
 	if runErr != nil {
 		return res, runErr
 	}
-	if pend := eng.PendingWords(); pend != 0 {
+	// Fault plans legitimately leave words queued at the end of the
+	// schedule (delay-armed edges, bursts toward crashed receivers), so
+	// the phase-budget assertion only holds for fault-free runs.
+	if pend := eng.PendingWords(); pend != 0 && cfg.Faults.Empty() {
 		return Result{}, fmt.Errorf("core: %d words still queued after scheduled %d rounds (phase budget bug)", pend, scheduled)
 	}
 	return res, nil

@@ -112,6 +112,12 @@ func Registry() []Experiment {
 			PaperBound: "per-batch delta work << O(m^{3/2}) re-listing", Run: runChurnFlip},
 		{ID: "churn-growth", Title: "Churn: preferential growth, incremental oracle vs full recompute",
 			PaperBound: "per-batch delta work << O(m^{3/2}) re-listing", Run: runChurnGrowth},
+		{ID: "faults-crash", Title: "Faults: crash-stop nodes vs the algo panel",
+			PaperBound: "reliable-model protocols, measured degradation", Run: runFaultsCrash},
+		{ID: "faults-loss", Title: "Faults: per-link word loss vs the algo panel",
+			PaperBound: "reliable-model protocols, measured degradation", Run: runFaultsLoss},
+		{ID: "faults-delay", Title: "Faults: bounded adversarial delay vs the algo panel",
+			PaperBound: "reliable-model protocols, measured degradation", Run: runFaultsDelay},
 	}
 }
 

@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"testing"
+)
+
+// TestFaultFamiliesAnchorRow pins the degradation sweep's semantics: the
+// severity-0 row is a fault-free re-run, so every recall column is exactly
+// 1 and the wrong-output rate is 0; faulted rows keep every recall in
+// [0,1]. Run at tiny sizes — the semantics don't depend on scale.
+func TestFaultFamiliesAnchorRow(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 5, Sizes: []int{18, 24}}
+	for _, id := range []string{"faults-crash", "faults-loss", "faults-delay"} {
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Points) != len(cfg.faultSeverities()) && len(tbl.Points) != len(cfg.faultDelays()) {
+				t.Fatalf("unexpected row count %d", len(tbl.Points))
+			}
+			recallCols := 0
+			for _, p := range tbl.Points {
+				for _, col := range tbl.Cols {
+					v, isRecall := p.Vals[col], len(col) > 7 && col[:7] == "recall("
+					if !isRecall {
+						continue
+					}
+					recallCols++
+					if v < 0 || v > 1 {
+						t.Errorf("row %d: %s = %v out of [0,1]", p.N, col, v)
+					}
+					if p.N == 0 && v != 1 {
+						t.Errorf("anchor row: %s = %v, want 1", col, v)
+					}
+				}
+				if p.N == 0 && p.Vals["wrongRate"] != 0 {
+					t.Errorf("anchor row: wrongRate = %v, want 0", p.Vals["wrongRate"])
+				}
+				if p.Vals["words"] <= 0 || p.Vals["rounds"] <= 0 {
+					t.Errorf("row %d: empty rounds/words aggregate: %v", p.N, p.Vals)
+				}
+			}
+			if recallCols == 0 {
+				t.Fatal("no recall columns found")
+			}
+		})
+	}
+}
+
+// TestFaultPlanRowsValidate: every plan the sweep generates is a valid
+// plan for its network size (the sweep would fail otherwise, but this
+// pins the generator directly, including the at-least-one-crash rule).
+func TestFaultPlanRowsValidate(t *testing.T) {
+	for _, n := range []int{10, 64, 96} {
+		for _, pct := range []int{0, 1, 5, 40, 100} {
+			p := crashPlanFor(3, n, pct)
+			if err := p.ValidateFor(n); err != nil {
+				t.Fatalf("crash plan n=%d pct=%d: %v", n, pct, err)
+			}
+			if pct > 0 && (p == nil || len(p.Crashes) == 0) {
+				t.Fatalf("n=%d pct=%d: no crashes generated", n, pct)
+			}
+			if pct == 0 && p != nil {
+				t.Fatalf("pct=0 generated a plan: %+v", p)
+			}
+		}
+	}
+	// Crash node picks must be unique (duplicate entries collapse to the
+	// earliest round and would under-report the intended severity).
+	p := crashPlanFor(9, 50, 40)
+	seen := map[int]bool{}
+	for _, c := range p.Crashes {
+		if seen[c.Node] {
+			t.Fatalf("duplicate crash node %d", c.Node)
+		}
+		seen[c.Node] = true
+	}
+	if len(p.Crashes) != 20 {
+		t.Fatalf("n=50 pct=40: %d crashes, want 20", len(p.Crashes))
+	}
+}

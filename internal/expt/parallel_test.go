@@ -87,7 +87,7 @@ func TestParallelSweepByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long: runs experiments twice")
 	}
-	for _, id := range []string{"e2", "e9", "ab-hash", "ab-good", "ext-test"} {
+	for _, id := range []string{"e2", "e9", "ab-hash", "ab-good", "ext-test", "faults-loss"} {
 		t.Run(id, func(t *testing.T) {
 			e, err := ByID(id)
 			if err != nil {

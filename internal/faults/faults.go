@@ -1,0 +1,321 @@
+// Package faults defines deterministic fault plans for the CONGEST
+// engine: crash-stop schedules, per-link message loss and duplication,
+// and non-uniform per-link delivery delay.
+//
+// A Plan is declarative and JSON-serializable; compiling it yields a
+// Compiled form whose per-(round, edge) decisions are pure functions of
+// (plan seed, fault kind, round, sender, receiver) — a splitmix64-style
+// hash, not a mutable RNG stream. That statelessness is what lets the
+// engine inject faults identically across worker counts, shard counts,
+// parallel on/off and checkpoint cut-and-resume: no matter which worker
+// evaluates a coin, or whether a resumed engine re-evaluates it, the
+// answer is the same. The only mutable fault state the engine carries is
+// the crash cursor (derivable from the round) and the per-edge delay
+// arming (serialized in engine snapshots).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Crash schedules the crash-stop failure of one node: from round Round
+// on, the node's Round handler is never invoked again — it stops sending
+// and producing outputs. Words the node queued before crashing are
+// already in the network and drain normally; words addressed to a
+// crashed node are drained from their channels and dropped. A crash at
+// round 0 lets Init run (it models the node's pre-execution state) but
+// suppresses every Round call.
+type Crash struct {
+	Node  int `json:"node"`
+	Round int `json:"round"`
+}
+
+// LinkDelay pins the delivery delay of one directed edge to exactly K
+// rounds per activation burst — the adversarial table entry overriding
+// the seeded distribution. An entry with To == From addresses node
+// From's shared broadcast channel (broadcast CONGEST mode), which has no
+// per-receiver identity.
+type LinkDelay struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	K    int `json:"k"`
+}
+
+// Plan is a deterministic fault plan. The zero value (and nil) injects
+// nothing. All randomness derives from Seed; two runs with equal plans
+// are bit-identical.
+type Plan struct {
+	// Seed derives every fault coin. Independent of the engine seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Crashes lists crash-stop failures (processed in (round, node)
+	// order; duplicate nodes keep the earliest round).
+	Crashes []Crash `json:"crashes,omitempty"`
+	// Loss is the per-(round, directed edge) probability that a
+	// delivered batch is dropped, in [0, 1].
+	Loss float64 `json:"loss,omitempty"`
+	// Dup is the per-(round, directed edge) probability that a delivered
+	// batch arrives twice in the same round, in [0, 1].
+	Dup float64 `json:"dup,omitempty"`
+	// DelayMax, when positive, delays each activation burst of each
+	// directed edge by k rounds, k drawn uniformly from [0, DelayMax]
+	// by a seeded per-(round, edge) coin.
+	DelayMax int `json:"delayMax,omitempty"`
+	// DelayLinks is the adversarial delay table: listed edges always
+	// delay by exactly K, overriding DelayMax's distribution.
+	DelayLinks []LinkDelay `json:"delayLinks,omitempty"`
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Crashes) == 0 && p.Loss == 0 && p.Dup == 0 &&
+		p.DelayMax == 0 && len(p.DelayLinks) == 0)
+}
+
+// Validate checks the plan's shape: rates in [0, 1], non-negative rounds,
+// delays and node ids. Node-id upper bounds are checked against the
+// actual graph by ValidateFor.
+func (p *Plan) Validate() error { return p.ValidateFor(0) }
+
+// ValidateFor is Validate plus node-id range checks against an n-node
+// graph; n <= 0 skips the upper-bound checks.
+func (p *Plan) ValidateFor(n int) error {
+	if p == nil {
+		return nil
+	}
+	if err := checkRate("loss", p.Loss); err != nil {
+		return err
+	}
+	if err := checkRate("dup", p.Dup); err != nil {
+		return err
+	}
+	if p.DelayMax < 0 {
+		return fmt.Errorf("faults: delayMax %d is negative", p.DelayMax)
+	}
+	for _, c := range p.Crashes {
+		if c.Node < 0 || (n > 0 && c.Node >= n) {
+			return fmt.Errorf("faults: crash node %d out of range [0, %d)", c.Node, n)
+		}
+		if c.Round < 0 {
+			return fmt.Errorf("faults: crash round %d is negative", c.Round)
+		}
+	}
+	for _, l := range p.DelayLinks {
+		if l.From < 0 || (n > 0 && l.From >= n) {
+			return fmt.Errorf("faults: delay link sender %d out of range [0, %d)", l.From, n)
+		}
+		if l.To < 0 || (n > 0 && l.To >= n) {
+			return fmt.Errorf("faults: delay link receiver %d out of range [0, %d)", l.To, n)
+		}
+		if l.K < 0 {
+			return fmt.Errorf("faults: delay link (%d -> %d) has negative delay %d", l.From, l.To, l.K)
+		}
+	}
+	return nil
+}
+
+func checkRate(name string, r float64) error {
+	if math.IsNaN(r) || r < 0 || r > 1 {
+		return fmt.Errorf("faults: %s rate %v outside [0, 1]", name, r)
+	}
+	return nil
+}
+
+// Hash returns a canonical fingerprint of the plan: equal plans hash
+// equal regardless of crash/link listing order. It identifies the plan
+// in engine snapshots and cache keys.
+func (p *Plan) Hash() uint64 {
+	if p == nil {
+		return 0
+	}
+	const (
+		offset = 14695981039346656037 // FNV-1a
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(p.Seed))
+	mix(math.Float64bits(p.Loss))
+	mix(math.Float64bits(p.Dup))
+	mix(uint64(p.DelayMax))
+	crashes := sortedCrashes(p.Crashes)
+	mix(uint64(len(crashes)))
+	for _, c := range crashes {
+		mix(uint64(c.Node))
+		mix(uint64(c.Round))
+	}
+	links := sortedLinks(p.DelayLinks)
+	mix(uint64(len(links)))
+	for _, l := range links {
+		mix(uint64(l.From))
+		mix(uint64(l.To))
+		mix(uint64(l.K))
+	}
+	return h
+}
+
+// Fingerprint is Hash with the no-faults cases collapsed: nil and empty
+// plans fingerprint to 0, which is what engine snapshots and cache keys
+// store for fault-free runs.
+func Fingerprint(p *Plan) uint64 {
+	if p.Empty() {
+		return 0
+	}
+	return p.Hash()
+}
+
+func sortedCrashes(in []Crash) []Crash {
+	out := slices.Clone(in)
+	slices.SortFunc(out, func(a, b Crash) int {
+		if a.Round != b.Round {
+			return a.Round - b.Round
+		}
+		return a.Node - b.Node
+	})
+	return out
+}
+
+func sortedLinks(in []LinkDelay) []LinkDelay {
+	out := slices.Clone(in)
+	slices.SortFunc(out, func(a, b LinkDelay) int {
+		if a.From != b.From {
+			return a.From - b.From
+		}
+		if a.To != b.To {
+			return a.To - b.To
+		}
+		return a.K - b.K
+	})
+	return out
+}
+
+// Distinct coin salts per fault kind so the loss, duplication and delay
+// streams are independent.
+const (
+	saltLoss  = 0x6c6f73735f636f69 // "loss_coi"
+	saltDup   = 0x6475705f5f636f69 // "dup__coi"
+	saltDelay = 0x64656c61795f636f // "delay_co"
+)
+
+// Compiled is a plan ready for per-round evaluation: rates folded into
+// uint64 thresholds, the adversarial table into a map, crashes sorted
+// into processing order. Compiled values are immutable and safe for
+// concurrent use from delivery workers.
+type Compiled struct {
+	hash      uint64
+	seed      uint64
+	lossCut   uint64
+	lossAll   bool
+	dupCut    uint64
+	dupAll    bool
+	delaySpan uint64 // DelayMax+1 when distribution delay is on, else 0
+	links     map[uint64]int32
+	crashes   []Crash
+}
+
+// Compile validates the plan's shape and builds its compiled form.
+func (p *Plan) Compile() (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		hash: Fingerprint(p),
+		seed: mix64(uint64(p.Seed) ^ 0x7472695f6661756c),
+	}
+	c.lossCut, c.lossAll = threshold(p.Loss)
+	c.dupCut, c.dupAll = threshold(p.Dup)
+	if p.DelayMax > 0 {
+		c.delaySpan = uint64(p.DelayMax) + 1
+	}
+	if len(p.DelayLinks) > 0 {
+		c.links = make(map[uint64]int32, len(p.DelayLinks))
+		for _, l := range sortedLinks(p.DelayLinks) {
+			c.links[linkKey(l.From, l.To)] = int32(l.K)
+		}
+	}
+	c.crashes = sortedCrashes(p.Crashes)
+	return c, nil
+}
+
+// Hash returns the source plan's Fingerprint.
+func (c *Compiled) Hash() uint64 { return c.hash }
+
+// Crashes returns the crash schedule sorted by (round, node). Callers
+// must not mutate it.
+func (c *Compiled) Crashes() []Crash { return c.crashes }
+
+// HasLoss reports whether any delivery can be lost.
+func (c *Compiled) HasLoss() bool { return c.lossAll || c.lossCut > 0 }
+
+// HasDup reports whether any delivery can be duplicated.
+func (c *Compiled) HasDup() bool { return c.dupAll || c.dupCut > 0 }
+
+// HasDelay reports whether any edge can be delay-armed.
+func (c *Compiled) HasDelay() bool { return c.delaySpan > 0 || len(c.links) > 0 }
+
+// Lose reports whether the batch delivered on edge (from -> to) at the
+// given round is dropped.
+func (c *Compiled) Lose(round, from, to int) bool {
+	return c.lossAll || (c.lossCut > 0 && c.coin(saltLoss, round, from, to) < c.lossCut)
+}
+
+// Duplicate reports whether the batch delivered on edge (from -> to) at
+// the given round arrives twice.
+func (c *Compiled) Duplicate(round, from, to int) bool {
+	return c.dupAll || (c.dupCut > 0 && c.coin(saltDup, round, from, to) < c.dupCut)
+}
+
+// DelayFor returns the rounds by which edge (from -> to)'s activation
+// burst first attempted at the given round is deferred: the adversarial
+// table entry when present, otherwise a uniform draw from [0, DelayMax].
+func (c *Compiled) DelayFor(round, from, to int) int {
+	if c.links != nil {
+		if k, ok := c.links[linkKey(from, to)]; ok {
+			return int(k)
+		}
+	}
+	if c.delaySpan > 0 {
+		return int(c.coin(saltDelay, round, from, to) % c.delaySpan)
+	}
+	return 0
+}
+
+// coin hashes (seed, salt, round, from, to) into a uniform uint64. Pure
+// function: evaluation order, worker placement and resume boundaries
+// cannot change it.
+func (c *Compiled) coin(salt uint64, round, from, to int) uint64 {
+	h := c.seed ^ salt
+	h = mix64(h + 0x9e3779b97f4a7c15*uint64(round+1))
+	return mix64(h ^ (uint64(uint32(from))<<32 | uint64(uint32(to))))
+}
+
+// mix64 is the splitmix64 finalizer (same avalanche as the engine's
+// per-node seed derivation).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func linkKey(from, to int) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// threshold folds a probability into a strict-less-than uint64 cut:
+// fire iff coin < cut, with rate 1 special-cased to always fire.
+func threshold(rate float64) (cut uint64, always bool) {
+	switch {
+	case rate <= 0:
+		return 0, false
+	case rate >= 1:
+		return 0, true
+	default:
+		return uint64(rate * math.Ldexp(1, 64)), false
+	}
+}

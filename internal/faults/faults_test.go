@@ -1,0 +1,290 @@
+package faults
+
+// Unit tests for the declarative plan layer: validation, the canonical
+// hash (order-independence, empty collapse), JSON round-tripping, and the
+// statistical/deterministic behavior of the compiled coins.
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan should be empty")
+	}
+	if !(&Plan{Seed: 99}).Empty() {
+		t.Fatal("seed-only plan should be empty (seed alone injects nothing)")
+	}
+	for name, p := range map[string]*Plan{
+		"crash": {Crashes: []Crash{{Node: 0, Round: 0}}},
+		"loss":  {Loss: 0.1},
+		"dup":   {Dup: 0.1},
+		"delay": {DelayMax: 1},
+		"links": {DelayLinks: []LinkDelay{{From: 0, To: 1, K: 2}}},
+	} {
+		if p.Empty() {
+			t.Fatalf("%s plan should not be empty", name)
+		}
+	}
+}
+
+func TestValidateFor(t *testing.T) {
+	bad := map[string]*Plan{
+		"loss-high":      {Loss: 1.5},
+		"loss-neg":       {Loss: -0.1},
+		"loss-nan":       {Loss: math.NaN()},
+		"dup-high":       {Dup: 2},
+		"delay-neg":      {DelayMax: -1},
+		"crash-neg-node": {Crashes: []Crash{{Node: -1, Round: 0}}},
+		"crash-neg-rnd":  {Crashes: []Crash{{Node: 0, Round: -2}}},
+		"crash-oob":      {Crashes: []Crash{{Node: 8, Round: 0}}},
+		"link-neg-from":  {DelayLinks: []LinkDelay{{From: -1, To: 0, K: 1}}},
+		"link-oob-to":    {DelayLinks: []LinkDelay{{From: 0, To: 8, K: 1}}},
+		"link-neg-k":     {DelayLinks: []LinkDelay{{From: 0, To: 1, K: -1}}},
+	}
+	for name, p := range bad {
+		if err := p.ValidateFor(8); err == nil {
+			t.Fatalf("%s: ValidateFor(8) accepted invalid plan %+v", name, p)
+		}
+	}
+	ok := &Plan{
+		Seed:       3,
+		Crashes:    []Crash{{Node: 7, Round: 0}},
+		Loss:       1,
+		Dup:        0,
+		DelayMax:   5,
+		DelayLinks: []LinkDelay{{From: 7, To: 7, K: 0}},
+	}
+	if err := ok.ValidateFor(8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	// n <= 0 skips only the upper-bound checks.
+	oob := &Plan{Crashes: []Crash{{Node: 1000, Round: 0}}}
+	if err := oob.Validate(); err != nil {
+		t.Fatalf("Validate should skip upper bounds: %v", err)
+	}
+	if err := oob.ValidateFor(8); err == nil {
+		t.Fatal("ValidateFor(8) should enforce upper bounds")
+	}
+}
+
+func TestHashCanonical(t *testing.T) {
+	a := &Plan{
+		Seed:       7,
+		Crashes:    []Crash{{Node: 3, Round: 5}, {Node: 1, Round: 2}},
+		Loss:       0.25,
+		DelayLinks: []LinkDelay{{From: 2, To: 3, K: 1}, {From: 0, To: 1, K: 4}},
+	}
+	b := &Plan{
+		Seed:       7,
+		Crashes:    []Crash{{Node: 1, Round: 2}, {Node: 3, Round: 5}},
+		Loss:       0.25,
+		DelayLinks: []LinkDelay{{From: 0, To: 1, K: 4}, {From: 2, To: 3, K: 1}},
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("hash should be independent of crash/link listing order")
+	}
+	c := *a
+	c.Seed = 8
+	if a.Hash() == c.Hash() {
+		t.Fatal("different seeds should hash differently")
+	}
+	d := *a
+	d.Loss = 0.26
+	if a.Hash() == d.Hash() {
+		t.Fatal("different loss rates should hash differently")
+	}
+	if Fingerprint(nil) != 0 || Fingerprint(&Plan{Seed: 42}) != 0 {
+		t.Fatal("empty plans must fingerprint to 0")
+	}
+	if Fingerprint(a) != a.Hash() {
+		t.Fatal("non-empty fingerprint must equal the hash")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := &Plan{
+		Seed:       11,
+		Crashes:    []Crash{{Node: 4, Round: 9}},
+		Loss:       0.125,
+		Dup:        0.0625,
+		DelayMax:   3,
+		DelayLinks: []LinkDelay{{From: 1, To: 2, K: 6}},
+	}
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != p.Hash() {
+		t.Fatalf("plan changed identity through JSON: %x vs %x", back.Hash(), p.Hash())
+	}
+	// An empty plan serializes to the empty object.
+	blob, err = json.Marshal(&Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "{}" {
+		t.Fatalf("empty plan serialized as %s", blob)
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	if _, err := (&Plan{Loss: 2}).Compile(); err == nil {
+		t.Fatal("Compile accepted loss rate 2")
+	}
+}
+
+// TestCoinExtremes pins the threshold special cases: rate 0 never fires,
+// rate 1 always fires, and the compiled Has* predicates agree.
+func TestCoinExtremes(t *testing.T) {
+	never, err := (&Plan{Dup: 0, Loss: 0, DelayMax: 1}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, err := (&Plan{Loss: 1, Dup: 1}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.HasLoss() || never.HasDup() || !never.HasDelay() {
+		t.Fatal("Has* predicates wrong for zero-rate plan")
+	}
+	if !always.HasLoss() || !always.HasDup() || always.HasDelay() {
+		t.Fatal("Has* predicates wrong for rate-1 plan")
+	}
+	for round := 0; round < 50; round++ {
+		for from := 0; from < 4; from++ {
+			for to := 0; to < 4; to++ {
+				if never.Lose(round, from, to) || never.Duplicate(round, from, to) {
+					t.Fatalf("rate-0 coin fired at (%d,%d,%d)", round, from, to)
+				}
+				if !always.Lose(round, from, to) || !always.Duplicate(round, from, to) {
+					t.Fatalf("rate-1 coin missed at (%d,%d,%d)", round, from, to)
+				}
+			}
+		}
+	}
+}
+
+// TestCoinDistribution checks the seeded coins behave like their rates
+// over many (round, edge) cells, that the loss and dup streams are
+// independent (distinct salts), and that re-evaluation is pure.
+func TestCoinDistribution(t *testing.T) {
+	c, err := (&Plan{Seed: 5, Loss: 0.3, Dup: 0.3, DelayMax: 4}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds, n = 200, 10
+	var lost, dupd, both, total int
+	delayCounts := make([]int, 5)
+	for round := 0; round < rounds; round++ {
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to++ {
+				if from == to {
+					continue
+				}
+				total++
+				l := c.Lose(round, from, to)
+				d := c.Duplicate(round, from, to)
+				if l != c.Lose(round, from, to) || d != c.Duplicate(round, from, to) {
+					t.Fatal("coin re-evaluation changed its answer")
+				}
+				if l {
+					lost++
+				}
+				if d {
+					dupd++
+				}
+				if l && d {
+					both++
+				}
+				k := c.DelayFor(round, from, to)
+				if k < 0 || k > 4 {
+					t.Fatalf("DelayFor out of [0, 4]: %d", k)
+				}
+				delayCounts[k]++
+			}
+		}
+	}
+	frac := func(x int) float64 { return float64(x) / float64(total) }
+	if f := frac(lost); f < 0.28 || f > 0.32 {
+		t.Fatalf("loss rate %f far from 0.3", f)
+	}
+	if f := frac(dupd); f < 0.28 || f > 0.32 {
+		t.Fatalf("dup rate %f far from 0.3", f)
+	}
+	// Independent salts: joint rate near the product, not near either rate.
+	if f := frac(both); f < 0.07 || f > 0.11 {
+		t.Fatalf("joint loss∧dup rate %f far from 0.09 — salts not independent", f)
+	}
+	for k, cnt := range delayCounts {
+		if f := frac(cnt); f < 0.17 || f > 0.23 {
+			t.Fatalf("delay draw %d has frequency %f, far from uniform 0.2", k, f)
+		}
+	}
+}
+
+// TestDelayLinksOverride: adversarial table entries pin exact delays —
+// including the To == From broadcast-channel form — and untouched edges
+// fall back to the distribution (or zero without one).
+func TestDelayLinksOverride(t *testing.T) {
+	c, err := (&Plan{
+		Seed:       9,
+		DelayLinks: []LinkDelay{{From: 0, To: 1, K: 7}, {From: 2, To: 2, K: 3}},
+	}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		if k := c.DelayFor(round, 0, 1); k != 7 {
+			t.Fatalf("pinned link delayed %d, want 7", k)
+		}
+		if k := c.DelayFor(round, 2, 2); k != 3 {
+			t.Fatalf("pinned broadcast channel delayed %d, want 3", k)
+		}
+		if k := c.DelayFor(round, 1, 0); k != 0 {
+			t.Fatalf("unlisted edge with no distribution delayed %d, want 0", k)
+		}
+	}
+	// With a distribution, unlisted edges draw from it but pinned ones
+	// stay pinned.
+	c2, err := (&Plan{Seed: 9, DelayMax: 5, DelayLinks: []LinkDelay{{From: 0, To: 1, K: 9}}}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		if k := c2.DelayFor(round, 0, 1); k != 9 {
+			t.Fatalf("pinned link delayed %d, want 9 (beyond DelayMax)", k)
+		}
+		if k := c2.DelayFor(round, 1, 0); k < 0 || k > 5 {
+			t.Fatalf("unlisted edge delayed %d, outside [0, 5]", k)
+		}
+	}
+}
+
+// TestCrashesSorted: Compile returns the schedule in (round, node)
+// processing order regardless of listing order.
+func TestCrashesSorted(t *testing.T) {
+	c, err := (&Plan{Crashes: []Crash{
+		{Node: 5, Round: 3}, {Node: 1, Round: 3}, {Node: 9, Round: 0},
+	}}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Crashes()
+	want := []Crash{{Node: 9, Round: 0}, {Node: 1, Round: 3}, {Node: 5, Round: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d crashes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("crash %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

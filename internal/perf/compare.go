@@ -64,6 +64,13 @@ func DefaultToleranceFor(procs int) Tolerance {
 		// comparison is same-run and algorithmic (O(state) deserialize vs
 		// O(rounds) re-execution), so it holds on any machine.
 		"checkpoint_restore_vs_coldstart": 2.0,
+		// With no fault plan set the engine must run at the plain sparse
+		// workload's speed: EngineStepFaulty/nilplan is the identical
+		// configuration re-measured in the same run, so the ratio is ~1.0
+		// and anything below 0.85 means the nil-plan fast path picked up
+		// per-round fault work. Same-run and same-workload, so it holds on
+		// any machine at any proc count.
+		"fault_nilplan_vs_sparse": 0.85,
 	}
 	if procs >= 4 {
 		floors["speedup_engine_gnp_par_vs_seq"] = 2.0

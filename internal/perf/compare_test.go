@@ -93,6 +93,7 @@ func TestDefaultToleranceFor(t *testing.T) {
 		"speedup_dynamic_incremental_vs_full",
 		"speedup_oracle_count_par_vs_seq",
 		"speedup_oracle_list_par_vs_seq",
+		"fault_nilplan_vs_sparse",
 	} {
 		if _, ok := lo.Floors[key]; !ok {
 			t.Fatalf("1-proc floors missing %s: %v", key, lo.Floors)

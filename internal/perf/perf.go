@@ -131,11 +131,20 @@ var derivedRatios = []struct{ Key, Num, Den string }{
 	{"speedup_large_load_csrbin_vs_text", "LargeLoad/text", "LargeLoad/csrbin"},
 	{"speedup_large_sharded_vs_seq", "EngineStepLarge/seq", "EngineStepLarge/sharded"},
 	{"checkpoint_restore_vs_coldstart", "Checkpoint/coldstart", "Checkpoint/restore"},
+	// The fault layer's zero-overhead contract: a nil plan must run at the
+	// plain sparse workload's speed (ratio ~1.0; floored), while the
+	// loss+delay overhead factor (>= 1) just records what armed fault
+	// coins cost per round.
+	{"fault_nilplan_vs_sparse", "EngineStepSparse/activity", "EngineStepFaulty/nilplan"},
+	{"fault_lossdelay_overhead", "EngineStepFaulty/lossdelay", "EngineStepFaulty/nilplan"},
 }
 
-// ComputeDerived (re)fills Derived from the ratio definitions, for every
-// ratio whose two entries are present.
+// ComputeDerived rebuilds Derived from the ratio definitions, for every
+// ratio whose two entries are present. The map is authoritative: keys no
+// longer defined (renamed or retired ratios) are dropped rather than
+// carried along forever by the merge path.
 func (r *Report) ComputeDerived() {
+	r.Derived = nil
 	for _, d := range derivedRatios {
 		num, okN := r.Entry(d.Num)
 		den, okD := r.Entry(d.Den)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dynamic"
 	"repro/internal/expt"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -45,6 +46,8 @@ func Suites() []Suite {
 			{Name: "EngineStep/powerlaw-par", Fn: EngineStepPowerLaw(true), NoAllocGate: true},
 			{Name: "EngineStepSparse/dense", Fn: EngineStepSparse(sim.SchedulerDense)},
 			{Name: "EngineStepSparse/activity", Fn: EngineStepSparse(sim.SchedulerActivity)},
+			{Name: "EngineStepFaulty/nilplan", Fn: EngineStepFaulty(false)},
+			{Name: "EngineStepFaulty/lossdelay", Fn: EngineStepFaulty(true)},
 			{Name: "Checkpoint/save", Fn: CheckpointSave()},
 			{Name: "Checkpoint/restore", Fn: CheckpointRestore()},
 			{Name: "Checkpoint/coldstart", Fn: CheckpointColdstart()},
@@ -216,6 +219,30 @@ func EngineStepSparse(sched sim.Scheduler) func(*testing.B) {
 		engineStep(b, g, func(id int) sim.Node {
 			return sparseNode{period: sparsePeriod, beacon: id < sparseBeacons}
 		}, sim.Config{Seed: 1, Scheduler: sched})
+	}
+}
+
+// EngineStepFaulty runs the sparse-activity workload through the fault
+// layer. faulty=false sets no plan at all — byte-for-byte the same engine
+// configuration as EngineStepSparse/activity, re-measured under its own
+// name so the `fault_nilplan_vs_sparse` same-run ratio pins the fault
+// layer's zero-overhead contract: with Config.Faults nil every hot path
+// must stay on the fault-free branch, so the ratio sits at ~1.0 and the
+// gate floors it at 0.85. faulty=true arms per-link loss and bounded
+// delay (the stateless per-(round,edge) coin regime — no crashes, which
+// would change the workload itself by silencing beacons); its ratio
+// against nilplan records what fault arithmetic actually costs per round.
+func EngineStepFaulty(faulty bool) func(*testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(44))
+		g := graph.Gnp(sparseN, 8.0/float64(sparseN-1), rng)
+		cfg := sim.Config{Seed: 1, Scheduler: sim.SchedulerActivity}
+		if faulty {
+			cfg.Faults = &faults.Plan{Seed: 7, Loss: 0.1, DelayMax: 2}
+		}
+		engineStep(b, g, func(id int) sim.Node {
+			return sparseNode{period: sparsePeriod, beacon: id < sparseBeacons}
+		}, cfg)
 	}
 }
 

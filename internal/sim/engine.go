@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -81,6 +82,16 @@ type Config struct {
 	// Scheduler selects the round scheduler; the zero value is
 	// SchedulerActivity, the production path.
 	Scheduler Scheduler
+	// Faults, when non-nil and non-empty, interposes the deterministic
+	// fault plan — crash-stop schedules, per-link loss/duplication coins
+	// and delay arming — on the delivery phase (see faults.go). The plan
+	// participates in the determinism contract exactly like the seed:
+	// results are bit-identical across Workers/Shards/Parallel and
+	// checkpoint cut-and-resume for the same plan, and snapshots embed
+	// the plan fingerprint so a restore under a different plan fails with
+	// ErrSnapshotMismatch. A nil or empty plan leaves every hot path on
+	// its fault-free fast path.
+	Faults *faults.Plan
 }
 
 // Normalized returns the config with every default applied — the exact
@@ -130,6 +141,11 @@ type RoundDelta struct {
 type Hooks struct {
 	Round    func(round int, d RoundDelta)
 	Triangle func(node int, t graph.Triangle)
+	// Fault fires on the sequential spine for each fault-layer event
+	// (currently crash-stop kills), before the affected round's Round
+	// hook, in deterministic (round, node) order. Never fires without
+	// Config.Faults.
+	Fault func(ev FaultEvent)
 }
 
 // SetHooks installs streaming observation callbacks for the current run.
@@ -232,6 +248,11 @@ type Engine struct {
 	round     int
 	started   bool
 
+	// flt is the fault runtime (nil for fault-free engines — every fault
+	// branch below is gated on that nil check, which is what keeps the
+	// no-plan hot path at its fault-free cost).
+	flt *faultState
+
 	// Parallel-phase scratch, reused across rounds: the persistent worker
 	// pool, the weighted shard plan and weight buffer, and pre-built
 	// per-phase thunks so dispatching a fan-out allocates nothing.
@@ -284,12 +305,19 @@ type Engine struct {
 
 // deliveryShard accumulates one worker's delivery-phase counters; padded to
 // 128 bytes — two cache lines, because the adjacent-line hardware
-// prefetcher pairs lines — so workers do not false-share.
+// prefetcher pairs lines — so workers do not false-share. The fault
+// counters (popped through delayed) are written only by deliverToFaulty
+// and folded on the spine like the base pair.
 type deliveryShard struct {
-	messages int64
-	words    int64
-	moved    bool
-	_        [111]byte
+	messages  int64
+	words     int64
+	popped    int64 // words removed from queues (≠ words under faults)
+	lost      int64
+	dup       int64
+	crashDrop int64
+	delayed   int64
+	moved     bool
+	_         [71]byte
 }
 
 // NewEngine builds an engine for the given input graph and per-node
@@ -391,6 +419,13 @@ func NewEngine(input *graph.Graph, nodes []Node, cfg Config) (*Engine, error) {
 	}
 	if cfg.Shards > 1 {
 		e.initShards()
+	}
+	if !cfg.Faults.Empty() {
+		flt, err := newFaultState(cfg.Faults, n, len(e.queues), cfg.Mode == ModeBroadcast)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		e.flt = flt
 	}
 	return e, nil
 }
@@ -555,6 +590,10 @@ func (e *Engine) activatePending(v int) {
 // queues and stamps, v's recv counter) plus the caller's shard, so distinct
 // receivers can be processed concurrently.
 func (e *Engine) deliverTo(v int32, shard *deliveryShard) {
+	if e.flt != nil {
+		e.deliverToFaulty(v, shard)
+		return
+	}
 	b := e.cfg.BandwidthWords
 	keep := e.recvActive[v][:0]
 	for _, eid := range e.recvActive[v] {
@@ -597,15 +636,24 @@ func (e *Engine) step() {
 	activity := e.cfg.Scheduler != SchedulerDense
 	workers := e.poolWorkers()
 	usePar := e.cfg.Parallel && workers > 1
+	if e.flt != nil {
+		e.applyDueCrashes()
+	}
 	scheduled := e.scheduled[:0]
 	if activity {
 		e.schedGen++
-		// Ready snapshot: every receiver with an active in-edge gets a
-		// delivery this round. Taken before deliverTo compacts the list.
-		for _, v := range e.activeRecv {
-			if e.schedStamp[v] != e.schedGen {
-				e.schedStamp[v] = e.schedGen
-				scheduled = append(scheduled, v)
+		if e.flt == nil {
+			// Ready snapshot: every receiver with an active in-edge gets a
+			// delivery this round. Taken before deliverTo compacts the
+			// list. Under faults this assumption breaks (loss, delay and
+			// dead receivers can leave an inbox empty), so the faulty path
+			// schedules from post-delivery inboxes instead — the dense
+			// reference's criterion — during the compaction loop below.
+			for _, v := range e.activeRecv {
+				if e.schedStamp[v] != e.schedGen {
+					e.schedStamp[v] = e.schedGen
+					scheduled = append(scheduled, v)
+				}
 			}
 		}
 	}
@@ -616,17 +664,39 @@ func (e *Engine) step() {
 	// sequential; broadcast mode never has unicast traffic (Send panics).
 	stillBcast := e.bcastActive[:0]
 	for _, u := range e.bcastActive {
+		if e.flt != nil && e.bcastFaultGate(u) {
+			stillBcast = append(stillBcast, u) // delay-armed; nothing pops
+			continue
+		}
 		q := &e.bcastQ[u]
 		ws := q.popUpTo(b)
 		if len(ws) > 0 {
+			nw := int64(len(ws))
 			for _, to := range e.commTgts[e.commOffs[u]:e.commOffs[u+1]] {
+				if f := e.flt; f != nil {
+					if f.dead[to] {
+						e.metrics.Faults.WordsDroppedCrash += nw
+						continue
+					}
+					if f.hasLoss && f.comp.Lose(e.round, int(u), int(to)) {
+						e.metrics.Faults.WordsLost += nw
+						continue
+					}
+				}
 				e.inboxes[to] = append(e.inboxes[to], Delivery{From: int(u), Words: ws})
 				e.metrics.MessagesDelivered++
-				e.metrics.WordsDelivered += int64(len(ws))
-				e.metrics.PerNodeWordsRecv[to] += int64(len(ws))
+				e.metrics.WordsDelivered += nw
+				e.metrics.PerNodeWordsRecv[to] += nw
 				if activity && e.schedStamp[to] != e.schedGen {
 					e.schedStamp[to] = e.schedGen
 					scheduled = append(scheduled, to)
+				}
+				if f := e.flt; f != nil && f.hasDup && f.comp.Duplicate(e.round, int(u), int(to)) {
+					e.inboxes[to] = append(e.inboxes[to], Delivery{From: int(u), Words: ws})
+					e.metrics.MessagesDelivered++
+					e.metrics.WordsDelivered += nw
+					e.metrics.PerNodeWordsRecv[to] += nw
+					e.metrics.Faults.WordsDuplicated += nw
 				}
 			}
 			moved = true
@@ -635,6 +705,9 @@ func (e *Engine) step() {
 			stillBcast = append(stillBcast, u)
 		} else {
 			e.bcastInSet[u] = false
+			if f := e.flt; f != nil && f.hasDelay {
+				f.bcastArmStamp[u] = 0
+			}
 		}
 	}
 	e.bcastActive = stillBcast
@@ -648,6 +721,7 @@ func (e *Engine) step() {
 	// reason. Delivered words are folded back into the global queued counter
 	// from the shard totals.
 	delivered := int64(0)
+	popped := int64(0)
 	if usePar && e.queuedWords >= parallelMinWords && len(e.activeRecv) > 1 {
 		weights := resizeInt64(&e.weightBuf, len(e.activeRecv))
 		total := int64(0)
@@ -675,6 +749,9 @@ func (e *Engine) step() {
 			e.metrics.MessagesDelivered += shards[i].messages
 			delivered += shards[i].words
 			moved = moved || shards[i].moved
+			if e.flt != nil {
+				popped += e.foldFaultShard(&shards[i])
+			}
 		}
 		e.metrics.WordsDelivered += delivered
 	} else if len(e.activeRecv) > 0 {
@@ -686,11 +763,28 @@ func (e *Engine) step() {
 		delivered = shard.words
 		e.metrics.WordsDelivered += delivered
 		moved = moved || shard.moved
+		if e.flt != nil {
+			popped += e.foldFaultShard(&shard)
+		}
 	}
-	e.queuedWords -= delivered
+	// Under faults the queued-word account is debited by the words popped
+	// off queues (lost and crash-dropped batches pop without delivering,
+	// duplicated ones deliver without popping); fault-free, popped ==
+	// delivered and the cheaper counter is already folded.
+	if e.flt != nil {
+		e.queuedWords -= popped
+	} else {
+		e.queuedWords -= delivered
+	}
 	// Compact the receiver list sequentially (preserves activation order).
+	// The faulty activity path also schedules receivers here, from their
+	// post-delivery inboxes (broadcast deliveries were stamped above).
 	stillRecv := e.activeRecv[:0]
 	for _, v := range e.activeRecv {
+		if e.flt != nil && activity && len(e.inboxes[v]) > 0 && e.schedStamp[v] != e.schedGen {
+			e.schedStamp[v] = e.schedGen
+			scheduled = append(scheduled, v)
+		}
 		if len(e.recvActive[v]) > 0 {
 			stillRecv = append(stillRecv, v)
 		} else {
@@ -705,8 +799,12 @@ func (e *Engine) step() {
 	if activity {
 		// Fast-path wake-ups: every nextReady entry is due exactly this
 		// round and cannot have been superseded (its node could not run
-		// since it was recorded).
+		// since it was recorded) — except by a crash, which the dead guard
+		// catches (wheel entries are invalidated via nextWake instead).
 		for _, v := range e.nextReady {
+			if e.flt != nil && e.flt.dead[v] {
+				continue
+			}
 			if e.schedStamp[v] != e.schedGen {
 				e.schedStamp[v] = e.schedGen
 				scheduled = append(scheduled, v)
@@ -732,6 +830,9 @@ func (e *Engine) step() {
 		slices.Sort(scheduled)
 	} else {
 		for v := 0; v < len(e.nodes); v++ {
+			if e.flt != nil && e.flt.dead[v] {
+				continue // crashed nodes never run (their inboxes stay empty)
+			}
 			ctx := e.ctxs[v]
 			if ctx.done && len(e.inboxes[v]) == 0 {
 				continue
@@ -892,6 +993,9 @@ func (e *Engine) Rebind(input *graph.Graph, nodes []Node, seed int64) error {
 		ctx.comm = e.commTgts[e.commOffs[v]:e.commOffs[v+1]]
 		ctx.input = inTgts[inOffs[v]:inOffs[v+1]]
 	}
+	if e.flt != nil {
+		e.flt.resizeEdges(len(e.queues))
+	}
 	if e.cfg.Shards > 1 {
 		// Degree weights changed with the topology; recut the shard plan.
 		e.initShards()
@@ -961,8 +1065,10 @@ func (e *Engine) clearRun(nodes []Node, seed int64) {
 	e.metrics.MessagesDelivered = 0
 	e.metrics.WordsDelivered = 0
 	e.metrics.FastForwardedRounds = 0
+	e.metrics.Faults = FaultMetrics{}
 	clear(e.metrics.PerNodeWordsRecv)
 	clear(e.metrics.PerNodeWordsSent)
+	e.flt.clearRun()
 	e.round = 0
 	e.started = false
 	// Scheduling state: all contexts were just marked not-done above, and
@@ -989,13 +1095,22 @@ func (e *Engine) nextEventRound() int {
 	if len(e.nextReady) > 0 || e.hasActiveRecv() || len(e.bcastActive) > 0 {
 		return e.round
 	}
-	if r, ok := e.wheel.min(); ok {
-		if r < e.round {
-			return e.round
-		}
-		return r
+	r := maxInt
+	if w, ok := e.wheel.min(); ok {
+		r = w
 	}
-	return maxInt
+	// A pending crash is an event too: fast-forwarding past it would let
+	// the activity scheduler kill later than the dense reference.
+	if cr := e.nextCrashRound(); cr < r {
+		r = cr
+	}
+	if r == maxInt {
+		return maxInt
+	}
+	if r < e.round {
+		return e.round
+	}
+	return r
 }
 
 const maxInt = int(^uint(0) >> 1)
@@ -1106,8 +1221,8 @@ func (e *Engine) quiescent() bool {
 		return false
 	}
 	if e.cfg.Scheduler == SchedulerDense {
-		for _, ctx := range e.ctxs {
-			if !ctx.done {
+		for v, ctx := range e.ctxs {
+			if !ctx.done && !e.isDead(v) {
 				return false
 			}
 		}

@@ -86,12 +86,19 @@ func (e *Engine) initShards() {
 // shardDeliverWork is shard s's delivery phase: snapshot the shard's ready
 // receivers into its scheduled list, drain up to B words per active in-edge
 // into each receiver's inbox, and compact the receiver list. Touches only
-// shard-owned state plus shardCtr[s].
+// shard-owned state plus shardCtr[s]. Under faults the pre-delivery
+// snapshot is skipped — a faulty delivery can leave an inbox empty — and
+// receivers are scheduled from their post-delivery inboxes instead,
+// mirroring step()'s faulty path (schedStamp writes stay single-writer:
+// the spine stamped broadcast recipients before this fan-out, and shard s
+// owns every v it stamps here).
 func (e *Engine) shardDeliverWork(s int) {
-	for _, v := range e.shardRecv[s] {
-		if e.schedStamp[v] != e.schedGen {
-			e.schedStamp[v] = e.schedGen
-			e.shardSched[s] = append(e.shardSched[s], v)
+	if e.flt == nil {
+		for _, v := range e.shardRecv[s] {
+			if e.schedStamp[v] != e.schedGen {
+				e.schedStamp[v] = e.schedGen
+				e.shardSched[s] = append(e.shardSched[s], v)
+			}
 		}
 	}
 	ctr := &e.shardCtr[s]
@@ -100,6 +107,10 @@ func (e *Engine) shardDeliverWork(s int) {
 	}
 	keep := e.shardRecv[s][:0]
 	for _, v := range e.shardRecv[s] {
+		if e.flt != nil && len(e.inboxes[v]) > 0 && e.schedStamp[v] != e.schedGen {
+			e.schedStamp[v] = e.schedGen
+			e.shardSched[s] = append(e.shardSched[s], v)
+		}
 		if len(e.recvActive[v]) > 0 {
 			keep = append(keep, v)
 		} else {
@@ -202,6 +213,9 @@ func (e *Engine) stepSharded() {
 	msgs0, words0 := e.metrics.MessagesDelivered, e.metrics.WordsDelivered
 	workers := e.poolWorkers()
 	usePar := e.cfg.Parallel && workers > 1
+	if e.flt != nil {
+		e.applyDueCrashes()
+	}
 	e.schedGen++
 	// Broadcast deliveries on the spine: one sender reaches inboxes in many
 	// shards, so this phase cannot be receiver-sharded without write
@@ -211,18 +225,40 @@ func (e *Engine) stepSharded() {
 	moved := false
 	stillBcast := e.bcastActive[:0]
 	for _, u := range e.bcastActive {
+		if e.flt != nil && e.bcastFaultGate(u) {
+			stillBcast = append(stillBcast, u) // delay-armed; nothing pops
+			continue
+		}
 		q := &e.bcastQ[u]
 		ws := q.popUpTo(b)
 		if len(ws) > 0 {
+			nw := int64(len(ws))
 			for _, to := range e.commTgts[e.commOffs[u]:e.commOffs[u+1]] {
+				if f := e.flt; f != nil {
+					if f.dead[to] {
+						e.metrics.Faults.WordsDroppedCrash += nw
+						continue
+					}
+					if f.hasLoss && f.comp.Lose(e.round, int(u), int(to)) {
+						e.metrics.Faults.WordsLost += nw
+						continue
+					}
+				}
 				e.inboxes[to] = append(e.inboxes[to], Delivery{From: int(u), Words: ws})
 				e.metrics.MessagesDelivered++
-				e.metrics.WordsDelivered += int64(len(ws))
-				e.metrics.PerNodeWordsRecv[to] += int64(len(ws))
+				e.metrics.WordsDelivered += nw
+				e.metrics.PerNodeWordsRecv[to] += nw
 				if e.schedStamp[to] != e.schedGen {
 					e.schedStamp[to] = e.schedGen
 					t := e.shardOf[to]
 					e.shardSched[t] = append(e.shardSched[t], to)
+				}
+				if f := e.flt; f != nil && f.hasDup && f.comp.Duplicate(e.round, int(u), int(to)) {
+					e.inboxes[to] = append(e.inboxes[to], Delivery{From: int(u), Words: ws})
+					e.metrics.MessagesDelivered++
+					e.metrics.WordsDelivered += nw
+					e.metrics.PerNodeWordsRecv[to] += nw
+					e.metrics.Faults.WordsDuplicated += nw
 				}
 			}
 			moved = true
@@ -231,6 +267,9 @@ func (e *Engine) stepSharded() {
 			stillBcast = append(stillBcast, u)
 		} else {
 			e.bcastInSet[u] = false
+			if f := e.flt; f != nil && f.hasDelay {
+				f.bcastArmStamp[u] = 0
+			}
 		}
 	}
 	e.bcastActive = stillBcast
@@ -248,19 +287,32 @@ func (e *Engine) stepSharded() {
 			}
 		}
 		delivered := int64(0)
+		popped := int64(0)
 		for i := range e.shardCtr {
 			e.metrics.MessagesDelivered += e.shardCtr[i].messages
 			delivered += e.shardCtr[i].words
 			moved = moved || e.shardCtr[i].moved
+			if e.flt != nil {
+				popped += e.foldFaultShard(&e.shardCtr[i])
+			}
 		}
 		e.metrics.WordsDelivered += delivered
-		e.queuedWords -= delivered
+		if e.flt != nil {
+			e.queuedWords -= popped // see step(): popped ≠ delivered under faults
+		} else {
+			e.queuedWords -= delivered
+		}
 	}
 	if moved {
 		e.metrics.ActiveRounds++
 	}
 	// Wake-ups, routed on the spine into their shard's scheduled list.
+	// Crashed nodes are skipped here; wheel entries below self-invalidate
+	// through nextWake, which applyDueCrashes reset.
 	for _, v := range e.nextReady {
+		if e.flt != nil && e.flt.dead[v] {
+			continue
+		}
 		if e.schedStamp[v] != e.schedGen {
 			e.schedStamp[v] = e.schedGen
 			t := e.shardOf[v]

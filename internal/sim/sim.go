@@ -254,6 +254,10 @@ type Metrics struct {
 	// behavior: Rounds already includes these rounds, every other metric is
 	// unaffected by them, and the dense reference stepper always reports 0.
 	FastForwardedRounds int
+
+	// Faults aggregates the fault layer's interventions (all zero without
+	// Config.Faults).
+	Faults FaultMetrics
 }
 
 // TotalBits returns the total bits moved during the run.

@@ -59,7 +59,13 @@ var (
 
 // snapVersion versions the engine payload layout inside the checkpoint
 // container (which carries its own format version for the envelope).
-const snapVersion = 1
+// Version 2 added the fault-plan fingerprint to the header, the fault
+// metrics block, and — for faulty engines only — per-channel delay
+// arming. The crash cursor and dead set are deliberately NOT serialized:
+// both are pure functions of (plan, round) and are re-derived on
+// restore, and the loss/dup/delay coins themselves are stateless hashes,
+// so "fault RNG state" rides the snapshot for free.
+const snapVersion = 2
 
 // countingSource wraps a node's random source and counts the draws taken
 // from it, so a snapshot can record the stream position and a restore can
@@ -373,6 +379,7 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.U8(uint8(e.cfg.Mode))
 	w.U8(uint8(e.cfg.Scheduler))
 	w.I64(e.cfg.Seed)
+	w.U64(e.FaultPlanHash())
 	w.Int(e.round)
 
 	// Metrics (Rounds tracks e.round; WordBits is derived from n).
@@ -380,6 +387,11 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	w.I64(e.metrics.MessagesDelivered)
 	w.I64(e.metrics.WordsDelivered)
 	w.Int(e.metrics.FastForwardedRounds)
+	w.Int(e.metrics.Faults.NodesCrashed)
+	w.I64(e.metrics.Faults.WordsLost)
+	w.I64(e.metrics.Faults.WordsDuplicated)
+	w.I64(e.metrics.Faults.WordsDroppedCrash)
+	w.I64(e.metrics.Faults.DelayedDeliveries)
 	w.I64s(e.metrics.PerNodeWordsRecv)
 	w.I64s(e.metrics.PerNodeWordsSent)
 
@@ -406,6 +418,16 @@ func (e *Engine) Snapshot() ([]byte, error) {
 			w.U32(uint32(eid))
 			q := &e.queues[eid]
 			w.Words(q.buf[q.head:])
+			if e.flt != nil {
+				// Delay arming is the one piece of mutable fault state a
+				// resume cannot re-derive (the draw round is gone).
+				if e.flt.hasDelay && e.flt.armStamp[eid] == e.epoch {
+					w.Bool(true)
+					w.I32(e.flt.armAt[eid])
+				} else {
+					w.Bool(false)
+				}
+			}
 		}
 	}
 
@@ -416,6 +438,14 @@ func (e *Engine) Snapshot() ([]byte, error) {
 		w.U32(uint32(u))
 		q := &e.bcastQ[u]
 		w.Words(q.buf[q.head:])
+		if e.flt != nil {
+			if e.flt.bcastArmStamp != nil && e.flt.bcastArmStamp[u] == e.epoch {
+				w.Bool(true)
+				w.I32(e.flt.bcastArmAt[u])
+			} else {
+				w.Bool(false)
+			}
+		}
 	}
 
 	// Scheduler state. The wheel is serialized verbatim — stale entries
@@ -511,6 +541,12 @@ func (e *Engine) Restore(payload []byte) error {
 	if got := r.I64(); got != e.cfg.Seed {
 		return fmt.Errorf("%w: snapshot seed %d, engine %d", ErrSnapshotMismatch, got, e.cfg.Seed)
 	}
+	if got, want := r.U64(), e.FaultPlanHash(); got != want {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("%w: snapshot fault plan %#x, engine %#x", ErrSnapshotMismatch, got, want)
+	}
 	round := r.Int()
 	if r.Err() != nil {
 		return r.Err()
@@ -523,6 +559,11 @@ func (e *Engine) Restore(payload []byte) error {
 	e.metrics.MessagesDelivered = r.I64()
 	e.metrics.WordsDelivered = r.I64()
 	e.metrics.FastForwardedRounds = r.Int()
+	e.metrics.Faults.NodesCrashed = r.Int()
+	e.metrics.Faults.WordsLost = r.I64()
+	e.metrics.Faults.WordsDuplicated = r.I64()
+	e.metrics.Faults.WordsDroppedCrash = r.I64()
+	e.metrics.Faults.DelayedDeliveries = r.I64()
 	for _, slab := range []struct{ dst []int64 }{{e.metrics.PerNodeWordsRecv}, {e.metrics.PerNodeWordsSent}} {
 		vs := r.I64s()
 		if r.Err() != nil {
@@ -579,6 +620,14 @@ func (e *Engine) Restore(payload []byte) error {
 			q.head = 0
 			e.recvActive[v] = append(e.recvActive[v], eid)
 			total += int64(len(ws))
+			if e.flt != nil && r.Bool() {
+				armAt := r.I32()
+				if e.flt.armStamp == nil {
+					return fmt.Errorf("%w: delay arming on a plan without delay", ErrBadSnapshot)
+				}
+				e.flt.armStamp[eid] = e.epoch
+				e.flt.armAt[eid] = armAt
+			}
 		}
 		e.recvStamp[v] = e.epoch
 		e.recvQueued[v] = total
@@ -610,6 +659,14 @@ func (e *Engine) Restore(payload []byte) error {
 		q := &e.bcastQ[u]
 		q.buf = append(q.buf[:0], ws...)
 		q.head = 0
+		if e.flt != nil && r.Bool() {
+			armAt := r.I32()
+			if e.flt.bcastArmStamp == nil {
+				return fmt.Errorf("%w: broadcast delay arming on a plan without delay", ErrBadSnapshot)
+			}
+			e.flt.bcastArmStamp[u] = e.epoch
+			e.flt.bcastArmAt[u] = armAt
+		}
 	}
 
 	// Scheduler state.
@@ -708,6 +765,28 @@ func (e *Engine) Restore(payload []byte) error {
 	}
 	if r.Remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, r.Remaining())
+	}
+
+	// Re-derive the fault layer's crash state: a crash scheduled at round
+	// R is applied at the start of round R's step, so at this boundary
+	// exactly the crashes with Round < round have been processed. The
+	// crash metric and events were restored/emitted before the cut;
+	// reapplication here only rebuilds dead-set bookkeeping.
+	if e.flt != nil {
+		f := e.flt
+		f.nextCrash = 0
+		for f.nextCrash < len(f.crashes) && f.crashes[f.nextCrash].Round < round {
+			c := f.crashes[f.nextCrash]
+			f.nextCrash++
+			if f.dead[c.Node] {
+				continue
+			}
+			f.dead[c.Node] = true
+			if !e.doneMark[c.Node] {
+				e.doneMark[c.Node] = true
+				e.notDone--
+			}
+		}
 	}
 
 	e.round = round
