@@ -366,6 +366,17 @@ func BenchmarkDynamicApply(b *testing.B) {
 	b.Run("full", perf.DynamicApply(false))
 }
 
+// BenchmarkServiceThroughput — end-to-end jobs/sec through the durable
+// congest.Service (admission, priority queue, worker pool, result
+// plumbing): one op is a batch of independent finding jobs, seq on one
+// worker vs par on all CPUs. The par results are checked byte-identical to
+// the seq warmup, and the seq/par ratio is the `speedup_service_par_vs_seq`
+// floor in BENCH_engine.json.
+func BenchmarkServiceThroughput(b *testing.B) {
+	b.Run("seq", perf.ServiceThroughput(1))
+	b.Run("par", perf.ServiceThroughput(0))
+}
+
 // BenchmarkEngineParallel — substrate bench: parallel vs sequential engine
 // on the Theorem-2 lister (see BenchmarkE5Listing for the sequential run).
 func BenchmarkEngineParallel(b *testing.B) {

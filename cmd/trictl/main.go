@@ -1,0 +1,441 @@
+// Command trictl is the triserve client: submit, list, watch and cancel
+// jobs over the HTTP JSON API, from scripts or a terminal.
+//
+//	trictl [-addr URL] [-json] [-retries N] <command> [args]
+//
+//	submit [-tenant T] [-key K] [-priority P] [-deadline D] [-watch] <spec.json|->
+//	list
+//	status <job-id>
+//	watch  <job-id>
+//	cancel <job-id>
+//	delete <job-id>
+//	stats
+//
+// trictl retries honestly: connection failures and 5xx responses back
+// off exponentially with jitter; 429 responses honor the server's
+// Retry-After header. Retries are safe because every submit carries an
+// idempotency key — a client-chosen one (-key), or a random one
+// generated per invocation — so a resubmitted request returns the
+// original job instead of enqueueing a duplicate. watch long-polls and
+// reconnects across server restarts, which a journaled server makes
+// seamless: the job it is watching comes back (re-running if it was in
+// flight) under the same id.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/congest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "trictl:", err)
+		os.Exit(1)
+	}
+}
+
+// client carries the shared flags and retry policy.
+type client struct {
+	base    string
+	asJSON  bool
+	retries int
+	sleep   func(time.Duration) // test seam; time.Sleep in production
+	stdout  io.Writer
+	stderr  io.Writer
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trictl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "http://localhost:8080", "triserve base URL")
+		asJSON  = fs.Bool("json", false, "print raw JSON instead of tables")
+		retries = fs.Int("retries", 8, "attempts per request before giving up")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: trictl [flags] <submit|list|status|watch|cancel|delete|stats> [args]\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := &client{
+		base:    strings.TrimRight(*addr, "/"),
+		asJSON:  *asJSON,
+		retries: *retries,
+		sleep:   time.Sleep,
+		stdout:  stdout,
+		stderr:  stderr,
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return errors.New("missing command")
+	}
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest)
+	case "list":
+		return c.list(rest)
+	case "status":
+		return c.status(rest)
+	case "watch":
+		return c.watch(rest)
+	case "cancel":
+		return c.cancel(rest)
+	case "delete":
+		return c.delete(rest)
+	case "stats":
+		return c.stats(rest)
+	}
+	fs.Usage()
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// jobView mirrors the server's wire form.
+type jobView struct {
+	ID       string            `json:"id"`
+	Status   congest.JobStatus `json:"status"`
+	Tenant   string            `json:"tenant,omitempty"`
+	Key      string            `json:"key,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+	Spec     congest.JobSpec   `json:"spec"`
+	Result   *congest.Result   `json:"result,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("trictl submit", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	var (
+		tenant   = fs.String("tenant", "", "tenant for quota accounting")
+		key      = fs.String("key", "", "idempotency key (empty = random per invocation)")
+		priority = fs.Int("priority", 0, "scheduling priority, higher runs first")
+		deadline = fs.Duration("deadline", 0, "per-job execution deadline (0 = server default)")
+		watch    = fs.Bool("watch", false, "wait for the job and print its terminal state")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("submit takes exactly one spec file (or - for stdin)")
+	}
+	spec, err := readSpecArg(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	// Always send a key: it is what makes the retry loop safe.
+	k := *key
+	if k == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return err
+		}
+		k = "trictl-" + hex.EncodeToString(b[:])
+	}
+	q := url.Values{}
+	q.Set("key", k)
+	if *tenant != "" {
+		q.Set("tenant", *tenant)
+	}
+	if *priority != 0 {
+		q.Set("priority", strconv.Itoa(*priority))
+	}
+	if *deadline != 0 {
+		q.Set("deadline", deadline.String())
+	}
+	body, err := c.do(http.MethodPost, "/v1/jobs?"+q.Encode(), spec, http.StatusAccepted)
+	if err != nil {
+		return err
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return fmt.Errorf("bad response: %w", err)
+	}
+	if *watch {
+		return c.watchJob(v.ID)
+	}
+	if c.asJSON {
+		_, err := c.stdout.Write(body)
+		return err
+	}
+	c.printJobs(v)
+	return nil
+}
+
+// readSpecArg loads a JobSpec from a file ("-" = stdin) and validates it
+// client-side, so an obviously broken spec never leaves the machine.
+func readSpecArg(path string) ([]byte, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := congest.ParseJobSpec(data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func (c *client) list(args []string) error {
+	if len(args) != 0 {
+		return errors.New("list takes no arguments")
+	}
+	body, err := c.do(http.MethodGet, "/v1/jobs", nil, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	if c.asJSON {
+		_, err := c.stdout.Write(body)
+		return err
+	}
+	var views []jobView
+	if err := json.Unmarshal(body, &views); err != nil {
+		return fmt.Errorf("bad response: %w", err)
+	}
+	c.printJobs(views...)
+	return nil
+}
+
+func (c *client) status(args []string) error {
+	if len(args) != 1 {
+		return errors.New("status takes exactly one job id")
+	}
+	return c.showJob(args[0], "")
+}
+
+func (c *client) watch(args []string) error {
+	if len(args) != 1 {
+		return errors.New("watch takes exactly one job id")
+	}
+	return c.watchJob(args[0])
+}
+
+// watchJob long-polls the job until it is terminal, reporting status
+// transitions on stderr and printing the terminal state on stdout. Each
+// poll goes through the retry loop, so a server restart mid-watch is a
+// reconnect, not a failure.
+func (c *client) watchJob(id string) error {
+	last := congest.JobStatus("")
+	for {
+		body, err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"?wait=10s", nil, http.StatusOK)
+		if err != nil {
+			return err
+		}
+		var v jobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("bad response: %w", err)
+		}
+		if v.Status != last {
+			fmt.Fprintf(c.stderr, "trictl: %s %s\n", v.ID, v.Status)
+			last = v.Status
+		}
+		if v.Status == congest.JobDone || v.Status == congest.JobFailed || v.Status == congest.JobCancelled {
+			if c.asJSON {
+				_, err := c.stdout.Write(body)
+				return err
+			}
+			c.printJobs(v)
+			if v.Status == congest.JobFailed {
+				return fmt.Errorf("job %s failed: %s", v.ID, v.Error)
+			}
+			return nil
+		}
+	}
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) != 1 {
+		return errors.New("cancel takes exactly one job id")
+	}
+	body, err := c.do(http.MethodPost, "/v1/jobs/"+url.PathEscape(args[0])+"/cancel", nil, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	return c.printJobBody(body)
+}
+
+func (c *client) delete(args []string) error {
+	if len(args) != 1 {
+		return errors.New("delete takes exactly one job id")
+	}
+	body, err := c.do(http.MethodDelete, "/v1/jobs/"+url.PathEscape(args[0]), nil, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	return c.printJobBody(body)
+}
+
+func (c *client) stats(args []string) error {
+	if len(args) != 0 {
+		return errors.New("stats takes no arguments")
+	}
+	body, err := c.do(http.MethodGet, "/v1/stats", nil, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	if c.asJSON {
+		_, err := c.stdout.Write(body)
+		return err
+	}
+	var st congest.ServiceStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("bad response: %w", err)
+	}
+	tw := tabwriter.NewWriter(c.stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "WORKERS\tQUEUED\tRUNNING\tTERMINAL\tDRAINING\n")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\n", st.Workers, st.Queued, st.Running, st.Terminal, st.Draining)
+	if st.JournalError != "" {
+		fmt.Fprintf(tw, "JOURNAL ERROR\t%s\n", st.JournalError)
+	}
+	return tw.Flush()
+}
+
+func (c *client) showJob(id, query string) error {
+	body, err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+query, nil, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	return c.printJobBody(body)
+}
+
+func (c *client) printJobBody(body []byte) error {
+	if c.asJSON {
+		_, err := c.stdout.Write(body)
+		return err
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return fmt.Errorf("bad response: %w", err)
+	}
+	c.printJobs(v)
+	return nil
+}
+
+// printJobs renders the tabular view.
+func (c *client) printJobs(views ...jobView) {
+	tw := tabwriter.NewWriter(c.stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "ID\tSTATUS\tTENANT\tPRIO\tALGO\tN\tTRIANGLES\tERROR\n")
+	for _, v := range views {
+		tri := ""
+		if v.Result != nil {
+			tri = strconv.Itoa(len(v.Result.Triangles))
+			if v.Result.Count != 0 {
+				tri = strconv.FormatInt(v.Result.Count, 10)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%d\t%s\t%s\n",
+			v.ID, v.Status, v.Tenant, v.Priority, v.Spec.Algo, v.Spec.Graph.N, tri, v.Error)
+	}
+	tw.Flush()
+}
+
+// do performs one API request through the retry loop: connection
+// failures and 5xx responses back off exponentially with jitter, 429
+// honors the server's Retry-After, and any other unexpected status
+// surfaces the server's machine-readable error. bodies are replayed on
+// retry (they are small byte slices).
+func (c *client) do(method, path string, body []byte, want int) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoff(attempt, lastErr))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = strings.NewReader(string(body))
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case resp.StatusCode == want:
+			return out, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = &httpError{status: resp.StatusCode, body: out, retryAfter: parseRetryAfter(resp)}
+			continue
+		default:
+			return nil, &httpError{status: resp.StatusCode, body: out}
+		}
+	}
+	return nil, fmt.Errorf("gave up after %d attempts: %w", c.retries, lastErr)
+}
+
+// backoff is exponential with jitter, starting at 100ms and capped at
+// 5s — unless the server sent Retry-After, which wins.
+func (c *client) backoff(attempt int, lastErr error) time.Duration {
+	var he *httpError
+	if errors.As(lastErr, &he) && he.retryAfter > 0 {
+		return he.retryAfter
+	}
+	d := 100 * time.Millisecond << (attempt - 1)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	// Full jitter: a uniform draw in (0, d] keeps retrying clients from
+	// stampeding in lockstep.
+	return time.Duration(mrand.Int63n(int64(d))) + time.Millisecond
+}
+
+// httpError is a non-2xx response, with the server's JSON error body
+// decoded when present.
+type httpError struct {
+	status     int
+	body       []byte
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string {
+	var v struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(e.body, &v) == nil && v.Error != "" {
+		return fmt.Sprintf("server returned %d: %s", e.status, v.Error)
+	}
+	return fmt.Sprintf("server returned %d", e.status)
+}
+
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}

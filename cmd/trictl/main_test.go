@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/congest"
+	"repro/internal/httpapi"
+)
+
+func startServer(t *testing.T, opts ...congest.Option) *httptest.Server {
+	t.Helper()
+	svc := congest.NewService(opts...)
+	srv := httptest.NewServer(httpapi.New(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv
+}
+
+func writeSpec(t *testing.T, spec string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const fastSpec = `{"graph":{"generator":"gnp","n":24,"p":0.5,"seed":1},"algo":"find","seed":7}`
+
+// TestCtlEndToEnd drives the full command surface against a real server:
+// submit -watch, list, status, stats, cancel, delete.
+func TestCtlEndToEnd(t *testing.T) {
+	srv := startServer(t, congest.WithWorkers(2))
+	spec := writeSpec(t, fastSpec)
+
+	var out, errs bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "submit", "-tenant", "acme", "-priority", "3", "-watch", spec}, &out, &errs); err != nil {
+		t.Fatalf("submit -watch: %v\n%s", err, errs.String())
+	}
+	if !strings.Contains(out.String(), "done") || !strings.Contains(out.String(), "acme") {
+		t.Fatalf("watch output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-addr", srv.URL, "-json", "list"}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	var views []jobView
+	if err := json.Unmarshal(out.Bytes(), &views); err != nil {
+		t.Fatalf("list -json: %v\n%s", err, out.String())
+	}
+	if len(views) != 1 || views[0].Status != congest.JobDone || views[0].Tenant != "acme" {
+		t.Fatalf("list: %+v", views)
+	}
+	id := views[0].ID
+
+	out.Reset()
+	if err := run([]string{"-addr", srv.URL, "status", id}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), id) || !strings.Contains(out.String(), "done") {
+		t.Fatalf("status output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-addr", srv.URL, "stats"}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WORKERS") {
+		t.Fatalf("stats output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-addr", srv.URL, "delete", id}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", srv.URL, "status", id}, &out, &errs); err == nil {
+		t.Fatal("status of a deleted job succeeded")
+	}
+
+	// Command-surface errors are errors, not hangs.
+	if err := run([]string{"-addr", srv.URL, "bogus"}, &out, &errs); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run([]string{"-addr", srv.URL, "submit"}, &out, &errs); err == nil {
+		t.Fatal("submit without a spec accepted")
+	}
+	if err := run([]string{"-addr", srv.URL, "submit", writeSpec(t, `{"algo":"nope"}`)}, &out, &errs); err == nil {
+		t.Fatal("invalid spec accepted client-side")
+	}
+}
+
+// TestCtlSubmitIdempotent: the same -key twice yields one job.
+func TestCtlSubmitIdempotent(t *testing.T) {
+	srv := startServer(t)
+	spec := writeSpec(t, fastSpec)
+	ids := make([]string, 2)
+	for i := range ids {
+		var out, errs bytes.Buffer
+		if err := run([]string{"-addr", srv.URL, "-json", "submit", "-key", "same", spec}, &out, &errs); err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+	}
+	if ids[0] != ids[1] {
+		t.Fatalf("idempotent submit created two jobs: %v", ids)
+	}
+}
+
+// TestCtlRetryHonorsRetryAfter: 429 responses wait the server's
+// Retry-After; 5xx and connection errors back off exponentially.
+func TestCtlRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"saturated"}`)
+		case 2:
+			w.WriteHeader(http.StatusBadGateway)
+		default:
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, `{"id":"job-1","status":"queued"}`)
+		}
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &client{
+		base:    srv.URL,
+		retries: 8,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+		stdout:  &bytes.Buffer{},
+		stderr:  &bytes.Buffer{},
+	}
+	body, err := c.do(http.MethodPost, "/v1/jobs", []byte("{}"), http.StatusAccepted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "job-1") {
+		t.Fatalf("body %s", body)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %v", slept)
+	}
+	if slept[0] != 2*time.Second {
+		t.Fatalf("429 backoff %s, want the server's Retry-After of 2s", slept[0])
+	}
+	if slept[1] <= 0 || slept[1] > 5*time.Second {
+		t.Fatalf("5xx backoff %s out of range", slept[1])
+	}
+
+	// A 400 is not retryable: it surfaces immediately with the server's
+	// machine-readable error.
+	calls.Store(100)
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"unknown field \"bogus\""}`)
+	}))
+	defer srv2.Close()
+	c2 := &client{base: srv2.URL, retries: 8, sleep: func(time.Duration) { t.Fatal("retried a 400") }}
+	if _, err := c2.do(http.MethodPost, "/v1/jobs", []byte("{}"), http.StatusAccepted); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("400 err %v", err)
+	}
+}
+
+// TestCtlWatchReconnect is the client half of the durability story: a
+// watch survives the server dying mid-job (connections severed, not
+// drained politely) and completes against the restarted server, which
+// recovered the job from its journal and re-ran it under the same id.
+func TestCtlWatchReconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart test")
+	}
+	jpath := filepath.Join(t.TempDir(), "jobs.journal")
+	slow := `{"graph":{"generator":"gnp","n":96,"p":0.5,"seed":1},"algo":"list","seed":1,"verify":"none"}`
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	svc1, err := congest.OpenService(congest.WithJournal(jpath), congest.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv1 := &http.Server{Handler: httpapi.New(svc1)}
+	go hsrv1.Serve(ln)
+
+	var out, errs bytes.Buffer
+	if err := run([]string{"-addr", "http://" + addr, "-json", "submit", writeSpec(t, slow)}, &out, &errs); err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+
+	watchDone := make(chan error, 1)
+	var wout, werrs bytes.Buffer
+	go func() {
+		watchDone <- run([]string{"-addr", "http://" + addr, "-json", "-retries", "60", "watch", v.ID}, &wout, &werrs)
+	}()
+
+	// Let the watch attach and the job start, then kill the server the
+	// hard way: connections severed first (so no poll can observe the
+	// drain), then the service preempts the job into the journal.
+	time.Sleep(300 * time.Millisecond)
+	hsrv1.Close()
+	if err := svc1.CloseContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same address with the same journal: the job comes
+	// back under its id and re-runs to completion.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := congest.OpenService(congest.WithJournal(jpath), congest.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv2 := &http.Server{Handler: httpapi.New(svc2)}
+	go hsrv2.Serve(ln2)
+	t.Cleanup(func() {
+		hsrv2.Close()
+		svc2.Close()
+	})
+
+	select {
+	case err := <-watchDone:
+		if err != nil {
+			t.Fatalf("watch: %v\nstderr:\n%s", err, werrs.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("watch did not complete\nstderr:\n%s", werrs.String())
+	}
+	var final jobView
+	if err := json.Unmarshal(wout.Bytes(), &final); err != nil {
+		t.Fatalf("watch output: %v\n%s", err, wout.String())
+	}
+	if final.ID != v.ID || final.Status != congest.JobDone {
+		t.Fatalf("watched job finished as %s %s", final.ID, final.Status)
+	}
+}

@@ -4,43 +4,55 @@
 // per-request cancellation (dropping a connection cancels its synchronous
 // job at the next round boundary).
 //
-// Endpoints:
+// Endpoints (see internal/httpapi for the full contract):
 //
 //	GET    /healthz          liveness
 //	GET    /v1/algorithms    registered algorithm names
 //	GET    /v1/generators    registered graph generator names
 //	GET    /v1/experiments   registered experiment sweeps
+//	GET    /v1/stats         worker/queue/tenant load snapshot
 //	POST   /v1/run              run one JobSpec synchronously, return its Result
 //	POST   /v1/jobs             submit one JobSpec asynchronously, return {id}
 //	GET    /v1/jobs             list submitted jobs
 //	GET    /v1/jobs/{id}        one job's status plus Result once done
+//	                            (?wait=5s long-polls until terminal)
 //	POST   /v1/jobs/{id}/cancel cancel a job (its prefix result stays readable;
 //	                            checkpointing jobs persist their boundary for resume)
 //	DELETE /v1/jobs/{id}        delete a job from history and reap its checkpoint files
 //
-// Job specs are decoded strictly: unknown fields are a 400, not a silent
-// default. Results are bit-identical to single-job runs of the same spec.
+// Submission endpoints take tenant/key/priority/deadline query
+// parameters; a saturated service answers 429 with Retry-After. Job
+// specs are decoded strictly: unknown fields are a 400, not a silent
+// default. Results are bit-identical to single-job runs of the same
+// spec.
+//
+// With -journal the server is durable: kill -9 loses at most the
+// unsynced tail, and the next start replays the journal — finished jobs
+// keep their results, interrupted jobs re-run (resuming from their
+// latest checkpoint when checkpointing was on). SIGTERM/SIGINT drain
+// gracefully: admission stops, running jobs are cancelled at their next
+// checkpoint boundary and journaled as preempted, and the process exits
+// within -drain-timeout.
 //
 // Example:
 //
-//	triserve -addr :8080 -workers 4 -max-n 4096 &
+//	triserve -addr :8080 -workers 4 -max-n 4096 -journal /var/lib/triserve/jobs.journal &
 //	curl -s localhost:8080/v1/run -d \
 //	  '{"graph":{"generator":"gnp","n":64,"p":0.5,"seed":1},"algo":"find","seed":7}'
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/congest"
+	"repro/internal/httpapi"
 )
 
 func main() {
@@ -53,181 +65,59 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("triserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 0, "concurrent job budget (0 = all CPUs)")
-		maxN    = fs.Int("max-n", 1<<14, "largest admissible graph (vertices); 0 = unlimited")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "concurrent job budget (0 = all CPUs)")
+		maxN       = fs.Int("max-n", 1<<14, "largest admissible graph (vertices); 0 = unlimited")
+		journal    = fs.String("journal", "", "crash-safe job journal path (empty = in-memory only)")
+		queueDepth = fs.Int("queue-depth", 0, "pending-queue bound before 429s (0 = default 1024, <0 = unlimited)")
+		quota      = fs.Int("quota", 0, "per-tenant in-flight job bound (0 = unlimited)")
+		deadline   = fs.Duration("deadline", 0, "server-side per-job execution deadline (0 = none)")
+		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound on SIGTERM/SIGINT")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc := congest.NewService(congest.WithWorkers(*workers), congest.WithMaxVertices(*maxN))
-	defer svc.Close()
+	svc, err := congest.OpenService(
+		congest.WithWorkers(*workers),
+		congest.WithMaxVertices(*maxN),
+		congest.WithJournal(*journal),
+		congest.WithQueueDepth(*queueDepth),
+		congest.WithTenantQuota(*quota),
+		congest.WithJobDeadline(*deadline),
+	)
+	if err != nil {
+		return err
+	}
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(svc),
+		Handler:           httpapi.New(svc),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "triserve: listening on %s\n", *addr)
 	select {
 	case err := <-errc:
+		svc.Close()
 		return err
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Drain: stop accepting connections, then drain the service —
+		// running jobs stop at their next checkpoint boundary and are
+		// journaled as preempted, so the next start resumes them.
+		fmt.Fprintf(os.Stderr, "triserve: draining (bound %s)\n", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		return server.Shutdown(shutCtx)
-	}
-}
-
-// maxBodyBytes bounds request bodies; specs are small (inline edge lists
-// included) and anything bigger is abuse.
-const maxBodyBytes = 4 << 20
-
-// jobView is the wire form of a job's state.
-type jobView struct {
-	ID     string            `json:"id"`
-	Status congest.JobStatus `json:"status"`
-	Spec   congest.JobSpec   `json:"spec"`
-	Result *congest.Result   `json:"result,omitempty"`
-	Error  string            `json:"error,omitempty"`
-}
-
-func viewOf(j *congest.Job) jobView {
-	v := jobView{ID: j.ID(), Status: j.Status(), Spec: j.Spec()}
-	if res, err, terminal := j.Result(); terminal {
-		r := res
-		v.Result = &r
-		if err != nil {
-			v.Error = err.Error()
+		shutErr := server.Shutdown(drainCtx)
+		if err := svc.CloseContext(drainCtx); err != nil {
+			return err
 		}
+		return shutErr
 	}
-	return v
 }
 
-// newMux builds the HTTP API over one service. Split from run() so tests
-// drive it through httptest without binding a port.
+// newMux is the test seam: the production handler over one service.
 func newMux(svc *congest.Service) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
-	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, congest.AlgorithmNames())
-	})
-	mux.HandleFunc("GET /v1/generators", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, congest.GeneratorNames())
-	})
-	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, congest.Experiments())
-	})
-	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
-		spec, ok := readSpec(w, r)
-		if !ok {
-			return
-		}
-		// Synchronous runs go through the same Service as async ones, so the
-		// -workers budget bounds them too. The request context cancels the
-		// job when the client goes away; the deterministic prefix is still
-		// returned (with meta.cancelled set) in case the write still
-		// reaches someone.
-		j, err := svc.Submit(spec)
-		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		select {
-		case <-j.Done():
-		case <-r.Context().Done():
-			j.Cancel()
-			<-j.Done()
-		}
-		res, err, _ := j.Result()
-		if err != nil && !res.Meta.Cancelled {
-			writeError(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, res)
-	})
-	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		spec, ok := readSpec(w, r)
-		if !ok {
-			return
-		}
-		j, err := svc.Submit(spec)
-		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, viewOf(j))
-	})
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		jobs := svc.Jobs()
-		views := make([]jobView, len(jobs))
-		for i, j := range jobs {
-			views[i] = viewOf(j)
-		}
-		writeJSON(w, http.StatusOK, views)
-	})
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := svc.Job(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("no such job"))
-			return
-		}
-		writeJSON(w, http.StatusOK, viewOf(j))
-	})
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := svc.Job(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("no such job"))
-			return
-		}
-		j.Cancel()
-		<-j.Done()
-		writeJSON(w, http.StatusOK, viewOf(j))
-	})
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := svc.Job(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("no such job"))
-			return
-		}
-		if err := svc.Delete(j.ID()); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, viewOf(j))
-	})
-	return mux
-}
-
-// readSpec decodes a strict JobSpec body, answering 400 on any shape
-// problem (unknown fields included).
-func readSpec(w http.ResponseWriter, r *http.Request) (congest.JobSpec, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return congest.JobSpec{}, false
-	}
-	spec, err := congest.ParseJobSpec(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return congest.JobSpec{}, false
-	}
-	return spec, true
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	return httpapi.New(svc)
 }

@@ -1,0 +1,93 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrSaturated is the errors.Is target for admission-control rejections:
+// a full pending queue or a tenant at its quota. The concrete error is
+// always a *SaturatedError carrying the Retry-After hint.
+var ErrSaturated = errors.New("congest: service saturated")
+
+// SaturatedError reports a submission rejected by admission control. The
+// job was NOT enqueued; the caller should back off and retry after
+// RetryAfter. errors.Is(err, ErrSaturated) matches it.
+type SaturatedError struct {
+	// Reason says which limit rejected the job ("queue full at N" or
+	// "tenant X at quota N").
+	Reason string
+	// Queued is the pending-queue depth at rejection time.
+	Queued int
+	// RetryAfter is the server's backoff hint: one second per estimated
+	// wave of queued-plus-running work over the worker budget, capped at
+	// 30s. A heuristic, not a promise — the queue may still be full.
+	RetryAfter time.Duration
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("congest: service saturated (%s; %d queued, retry after %s)", e.Reason, e.Queued, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrSaturated) true.
+func (e *SaturatedError) Unwrap() error { return ErrSaturated }
+
+// SubmitRequest carries a job spec plus its admission metadata. The zero
+// value of every field besides Spec is valid: an anonymous tenant, no
+// idempotency key, default priority, server-default deadline.
+type SubmitRequest struct {
+	// Spec is the job to run.
+	Spec JobSpec
+	// Tenant attributes the job for quota accounting ("" is the anonymous
+	// tenant, which is itself quota-bounded like any other).
+	Tenant string
+	// Key is an idempotency key, scoped per tenant: resubmitting an
+	// identical Key returns the existing job instead of enqueueing a
+	// duplicate, which makes client retries safe. "" means no key.
+	Key string
+	// Priority orders the pending queue: higher runs first, ties run in
+	// submission order. Running jobs are never preempted by a later
+	// high-priority submission.
+	Priority int
+	// Deadline bounds the job's execution time (from run start, not
+	// submission). Zero inherits the server deadline (WithJobDeadline);
+	// a nonzero value is capped at the server deadline when one is set.
+	Deadline time.Duration
+}
+
+// pendingQueue is the submission queue: a max-heap on (priority, then
+// FIFO by submission sequence). Jobs track their heap index so Cancel and
+// drain can remove a queued job in O(log n) without racing the workers.
+type pendingQueue []*Job
+
+func (q pendingQueue) Len() int { return len(q) }
+
+func (q pendingQueue) Less(a, b int) bool {
+	if q[a].priority != q[b].priority {
+		return q[a].priority > q[b].priority
+	}
+	return q[a].seq < q[b].seq
+}
+
+func (q pendingQueue) Swap(a, b int) {
+	q[a], q[b] = q[b], q[a]
+	q[a].index = a
+	q[b].index = b
+}
+
+func (q *pendingQueue) Push(x any) {
+	j := x.(*Job)
+	j.index = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *pendingQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*q = old[:n-1]
+	return j
+}

@@ -1,0 +1,141 @@
+package congest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// loadSpecs is the load-test workload: many distinct tiny jobs across
+// algorithms, graphs and seeds, cheap enough to run by the thousand under
+// -race.
+func loadSpecs() []JobSpec {
+	var specs []JobSpec
+	for i := 0; i < 4; i++ {
+		for _, algo := range []string{"list", "find", "twohop", "tester"} {
+			s := JobSpec{
+				Graph:  GraphSpec{Generator: "gnp", N: 12 + 2*i, P: 0.5, Seed: int64(i + 1)},
+				Algo:   algo,
+				Seed:   int64(10*i + 3),
+				Verify: VerifyNone,
+			}
+			if algo == "tester" {
+				s.Probes = 4
+			}
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// TestServiceLoad floods the service with thousands of concurrent
+// submissions from competing clients — retrying on saturation like a real
+// client would — and checks the two load-bearing invariants: every job's
+// result is byte-identical to a solo run of its spec, and the worker
+// budget is never exceeded. Run under -race in CI.
+func TestServiceLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	specs := loadSpecs()
+	solo := NewSession(WithOracleWorkers(1))
+	want := make([][]byte, len(specs))
+	for i, spec := range specs {
+		res, err := solo.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("solo %d: %v", i, err)
+		}
+		want[i], _ = json.Marshal(res)
+	}
+
+	// The queue is deliberately shallower than the client count, so the
+	// flood genuinely trips admission control and exercises the retry path.
+	const (
+		workers = 4
+		clients = 8
+		jobs    = 1200
+	)
+	svc := NewService(WithWorkers(workers), WithQueueDepth(2))
+	defer svc.Close()
+
+	// Budget watchdog: while the flood runs, the service must never report
+	// more running jobs than workers (the pool makes this structural; the
+	// stat is the observable witness).
+	stop := make(chan struct{})
+	var overBudget atomic.Int64
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := svc.Stats(); st.Running > workers {
+				overBudget.Store(int64(st.Running))
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var saturated atomic.Int64
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for n := c; n < jobs; n += clients {
+				i := n % len(specs)
+				var j *Job
+				for attempt := 0; ; attempt++ {
+					var err error
+					j, err = svc.Submit(specs[i])
+					if err == nil {
+						break
+					}
+					var sat *SaturatedError
+					if !errors.As(err, &sat) || sat.RetryAfter <= 0 {
+						errc <- fmt.Errorf("job %d: %v", n, err)
+						return
+					}
+					saturated.Add(1)
+					// Honest clients honor Retry-After; the test compresses
+					// the wait to keep the flood fast.
+					time.Sleep(time.Duration(attempt%4+1) * time.Millisecond)
+				}
+				res, err := j.Wait(context.Background())
+				if err != nil {
+					errc <- fmt.Errorf("job %d: %v", n, err)
+					return
+				}
+				got, _ := json.Marshal(res)
+				if !bytes.Equal(got, want[i]) {
+					errc <- fmt.Errorf("job %d (spec %d): result differs from solo run", n, i)
+					return
+				}
+			}
+			errc <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	watch.Wait()
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := overBudget.Load(); n != 0 {
+		t.Fatalf("worker budget exceeded: %d running with %d workers", n, workers)
+	}
+	t.Logf("completed %d jobs, %d saturation rejections retried", jobs, saturated.Load())
+}

@@ -1,14 +1,21 @@
 package congest
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // options is the resolved functional-option state shared by Session and
 // Service.
 type options struct {
-	workers       int // concurrent jobs a Service runs; 0 = GOMAXPROCS
-	oracleWorkers int // verification oracle pool; 0 = GOMAXPROCS
-	maxVertices   int // 0 = unlimited
-	jobHistory    int // terminal jobs a Service retains; 0 = default, <0 = unlimited
+	workers       int           // concurrent jobs a Service runs; 0 = GOMAXPROCS
+	oracleWorkers int           // verification oracle pool; 0 = GOMAXPROCS
+	maxVertices   int           // 0 = unlimited
+	jobHistory    int           // terminal jobs a Service retains; 0 = default, <0 = unlimited
+	queueDepth    int           // pending jobs a Service queues; 0 = default, <0 = unlimited
+	tenantQuota   int           // in-flight jobs per tenant; 0 = unlimited
+	jobDeadline   time.Duration // server-side per-job deadline; 0 = none
+	journalPath   string        // "" = no durability
 }
 
 // Option configures a Session, Service or one-shot Run with the functional
@@ -45,6 +52,45 @@ func WithMaxVertices(n int) Option {
 // default is 512; negative means unlimited.
 func WithJobHistory(n int) Option {
 	return func(o *options) { o.jobHistory = n }
+}
+
+// WithQueueDepth bounds the Service's pending queue — the backpressure
+// knob. Once the queue holds n jobs, further submissions fail with a
+// SaturatedError carrying a Retry-After hint instead of growing the
+// backlog without bound. The default is 1024; negative means unlimited.
+func WithQueueDepth(n int) Option {
+	return func(o *options) { o.queueDepth = n }
+}
+
+// WithTenantQuota bounds how many in-flight (queued or running) jobs any
+// one tenant may hold. A tenant at its quota gets a SaturatedError until
+// one of its jobs finishes; other tenants are unaffected — the isolation
+// knob for multi-tenant servers. Zero (the default) means unlimited.
+func WithTenantQuota(n int) Option {
+	return func(o *options) { o.tenantQuota = n }
+}
+
+// WithJobDeadline sets the server-side deadline applied to every job's
+// execution (measured from when it starts running, not from submission).
+// A job exceeding it is cancelled at its next round boundary, finishing
+// as JobCancelled with the deterministic prefix result. A per-job
+// SubmitRequest.Deadline below the server's wins; one above it is capped.
+// Zero (the default) means no server-side deadline.
+func WithJobDeadline(d time.Duration) Option {
+	return func(o *options) { o.jobDeadline = d }
+}
+
+// WithJournal makes the Service durable: every job submission, status
+// transition and terminal result is appended (with fsync) to the
+// crash-safe journal at path, and OpenService replays it — terminal jobs
+// reappear in the history, and jobs that were queued or running when the
+// process died are resubmitted, resuming from their latest checkpoint
+// when they have one (byte-identical to an uninterrupted run either way).
+// Empty (the default) keeps the service in-memory only. Services with a
+// journal should be constructed with OpenService, which can surface a
+// corrupt or unwritable journal as an error.
+func WithJournal(path string) Option {
+	return func(o *options) { o.journalPath = path }
 }
 
 func resolveOptions(opts []Option) options {

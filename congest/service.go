@@ -1,10 +1,14 @@
 package congest
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 )
@@ -19,25 +23,37 @@ const (
 	JobRunning JobStatus = "running"
 	// JobDone: finished with a result.
 	JobDone JobStatus = "done"
-	// JobCancelled: stopped by Cancel or service shutdown; the result holds
-	// the deterministic prefix of the uncancelled run.
+	// JobCancelled: stopped by Cancel, a deadline, or service shutdown; the
+	// result holds the deterministic prefix of the uncancelled run.
 	JobCancelled JobStatus = "cancelled"
 	// JobFailed: could not run (bad graph file, impossible parameters, ...).
 	JobFailed JobStatus = "failed"
 )
 
 // Job is one submitted run. Its result is deterministic: bit-identical to
-// Session.Run of the same spec, no matter how many jobs ran concurrently.
+// Session.Run of the same spec, no matter how many jobs ran concurrently —
+// and, on a journaled Service, no matter how many times the process died
+// and recovered in between.
 type Job struct {
-	id     string
-	spec   JobSpec
-	cancel context.CancelFunc
-	done   chan struct{}
+	id       string
+	spec     JobSpec
+	tenant   string
+	key      string
+	priority int
+	deadline time.Duration
+	seq      int // submission order, the FIFO tiebreak within a priority
+	index    int // heap position while queued; -1 otherwise
+	svc      *Service
+	obs      Observer
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
 
-	mu     sync.Mutex
-	status JobStatus
-	res    Result
-	err    error
+	mu        sync.Mutex
+	status    JobStatus
+	res       Result
+	err       error
+	preempted bool // drained, not finished: stays recoverable in the journal
 }
 
 // ID returns the job's service-assigned identifier ("job-1", "job-2", ...).
@@ -46,6 +62,16 @@ func (j *Job) ID() string { return j.id }
 // Spec returns the job's spec.
 func (j *Job) Spec() JobSpec { return j.spec }
 
+// Tenant returns the tenant the job was submitted under ("" for the
+// anonymous tenant).
+func (j *Job) Tenant() string { return j.tenant }
+
+// Key returns the job's idempotency key ("" if none).
+func (j *Job) Key() string { return j.key }
+
+// Priority returns the job's scheduling priority.
+func (j *Job) Priority() int { return j.priority }
+
 // Status returns the job's current lifecycle state.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
@@ -53,9 +79,18 @@ func (j *Job) Status() JobStatus {
 	return j.status
 }
 
-// Cancel asks the job to stop at its next round boundary. Cancelling a
+// Cancel asks the job to stop: a still-queued job finishes as JobCancelled
+// immediately; a running job stops at its next round boundary (persisting
+// a boundary checkpoint first when checkpointing is on). Cancelling a
 // finished job is a no-op.
-func (j *Job) Cancel() { j.cancel() }
+func (j *Job) Cancel() {
+	if j.svc != nil && j.svc.dequeue(j) {
+		j.cancel()
+		j.svc.finishJob(j, Result{}, context.Canceled)
+		return
+	}
+	j.cancel()
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -84,78 +119,399 @@ func (j *Job) Wait(ctx context.Context) (Result, error) {
 
 // Service multiplexes concurrent jobs over one shared Session: graphs and
 // pooled engines are shared, execution is bounded by the WithWorkers
-// budget, and every job is isolated (own engine, own node set, own
-// cancellation) so per-job output is deterministic. It is the in-process
-// backend of cmd/triserve.
+// budget (a fixed worker pool — the budget is structural, not advisory),
+// and every job is isolated (own engine, own node set, own cancellation)
+// so per-job output is deterministic. It is the in-process backend of
+// cmd/triserve.
+//
+// Admission is controlled: the pending queue is bounded (WithQueueDepth),
+// tenants are quota-bounded (WithTenantQuota), and a rejected submission
+// is a *SaturatedError with a Retry-After hint, never a silent stall.
+// Queued jobs run highest-priority first, FIFO within a priority.
+//
+// With WithJournal the Service is durable: every submission, start,
+// terminal result, preemption and deletion is fsync'd to an append-only
+// journal, and OpenService rebuilds the job table from it — jobs that
+// were in flight when the process died are re-run (resuming from their
+// latest checkpoint when they have one) with byte-identical results.
 type Service struct {
-	session *Session
-	sem     chan struct{}
-	history int
+	session  *Session
+	store    *jobStore // nil without WithJournal
+	history  int
+	workers  int
+	queueCap int           // <0 = unlimited
+	quota    int           // per-tenant in-flight bound; 0 = unlimited
+	deadline time.Duration // server-side per-job deadline; 0 = none
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers: pending gained a job, or drain began
+	pending  pendingQueue
+	jobs     map[string]*Job
+	order    []string
+	keys     map[string]string // tenant\x00key -> job id (idempotent submits)
+	inflight map[string]int    // per-tenant queued+running count
+	running  int
+	nextID   int
+	seq      int
+	draining bool
+	closed   bool
+
+	jobsWG    sync.WaitGroup // one per accepted non-terminal job
+	workersWG sync.WaitGroup // the worker pool
 }
 
 // NewService returns a Service. Unless overridden, verification oracles
 // run single-worker here (jobs are already concurrent; see
 // WithOracleWorkers) and the last 512 finished jobs are retained (see
-// WithJobHistory).
+// WithJobHistory). NewService panics where OpenService would return an
+// error — which cannot happen without WithJournal; journaled services
+// should use OpenService.
 func NewService(opts ...Option) *Service {
+	s, err := OpenService(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// OpenService is NewService with an error return: with WithJournal it
+// opens (or creates) the journal, replays it, restores terminal jobs to
+// the history, and resubmits every job that was still in flight — with
+// Checkpoint.Resume forced on for checkpointing jobs, so they continue
+// from their latest persisted boundary rather than from round 0. Either
+// way the re-run result is byte-identical to an uninterrupted run, by the
+// determinism contract. A corrupt or unwritable journal is an error here,
+// never a silently empty service.
+func OpenService(opts ...Option) (*Service, error) {
 	opts = append([]Option{WithOracleWorkers(1)}, opts...)
 	session := NewSession(opts...)
-	history := session.opts.jobHistory
+	o := session.opts
+	history := o.jobHistory
 	if history == 0 {
 		history = 512
 	}
-	return &Service{
-		session: session,
-		sem:     make(chan struct{}, session.opts.workers),
-		history: history,
-		jobs:    make(map[string]*Job),
+	queueCap := o.queueDepth
+	if queueCap == 0 {
+		queueCap = 1024
+	}
+	s := &Service{
+		session:  session,
+		history:  history,
+		workers:  o.workers,
+		queueCap: queueCap,
+		quota:    o.tenantQuota,
+		deadline: o.jobDeadline,
+		jobs:     make(map[string]*Job),
+		keys:     make(map[string]string),
+		inflight: make(map[string]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if o.journalPath != "" {
+		store, recovered, err := openJobStore(o.journalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.adopt(recovered)
+	}
+	for i := 0; i < s.workers; i++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// adopt rebuilds the job table from a journal replay: terminal jobs
+// reappear in the history with their stored Results; everything else is
+// re-enqueued to run again.
+func (s *Service) adopt(recovered []recoveredJob) {
+	for _, r := range recovered {
+		spec := r.spec
+		if r.status == "" && spec.Checkpoint != nil {
+			// Resume from the latest persisted boundary instead of round 0.
+			cp := *spec.Checkpoint
+			cp.Resume = true
+			spec.Checkpoint = &cp
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &Job{
+			id:       r.id,
+			spec:     spec,
+			tenant:   r.tenant,
+			key:      r.key,
+			priority: r.priority,
+			deadline: r.deadline,
+			index:    -1,
+			svc:      s,
+			ctx:      ctx,
+			cancel:   cancel,
+			done:     make(chan struct{}),
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(r.id, "job-")); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if j.key != "" {
+			s.keys[tenantKey(j.tenant, j.key)] = j.id
+		}
+		if r.status != "" {
+			// Terminal: restore the stored outcome and close the job out.
+			j.status = r.status
+			j.res = r.res
+			j.err = restoreErr(r.errMsg)
+			cancel()
+			close(j.done)
+			continue
+		}
+		j.status = JobQueued
+		j.seq = s.seq
+		s.seq++
+		s.inflight[j.tenant]++
+		s.jobsWG.Add(1)
+		heap.Push(&s.pending, j)
 	}
 }
+
+// restoreErr reconstructs a job error from its journaled message.
+func restoreErr(msg string) error {
+	switch msg {
+	case "":
+		return nil
+	case context.Canceled.Error():
+		return context.Canceled
+	case context.DeadlineExceeded.Error():
+		return context.DeadlineExceeded
+	}
+	return errors.New(msg)
+}
+
+func tenantKey(tenant, key string) string { return tenant + "\x00" + key }
 
 // Session returns the service's underlying session (for synchronous runs
 // that should share the service's caches).
 func (s *Service) Session() *Session { return s.session }
 
-// Submit validates and enqueues a job, returning immediately. The job runs
-// as soon as a worker slot frees up.
+// Submit validates and enqueues a job under the anonymous tenant,
+// returning immediately. The job runs as soon as a worker frees up.
 func (s *Service) Submit(spec JobSpec) (*Job, error) {
-	return s.SubmitObserved(spec, nil)
+	return s.submit(SubmitRequest{Spec: spec}, nil)
 }
 
 // SubmitObserved is Submit with a streaming Observer. The observer's
 // callbacks run on the job's worker goroutine.
 func (s *Service) SubmitObserved(spec JobSpec, obs Observer) (*Job, error) {
-	if err := spec.Validate(); err != nil {
+	return s.submit(SubmitRequest{Spec: spec}, obs)
+}
+
+// SubmitJob is Submit with full admission metadata: tenant, idempotency
+// key, priority and deadline. A resubmission with a key already seen for
+// that tenant returns the existing job (whatever its state) instead of
+// enqueueing a duplicate. Admission rejections are *SaturatedError.
+func (s *Service) SubmitJob(req SubmitRequest) (*Job, error) {
+	return s.submit(req, nil)
+}
+
+// SubmitJobObserved is SubmitJob with a streaming Observer.
+func (s *Service) SubmitJobObserved(req SubmitRequest, obs Observer) (*Job, error) {
+	return s.submit(req, obs)
+}
+
+func (s *Service) submit(req SubmitRequest, obs Observer) (*Job, error) {
+	if err := req.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	j := &Job{spec: spec, cancel: cancel, done: make(chan struct{}), status: JobQueued}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
-		cancel()
 		return nil, fmt.Errorf("congest: service is closed")
 	}
+	if req.Key != "" {
+		if id, ok := s.keys[tenantKey(req.Tenant, req.Key)]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			return j, nil
+		}
+	}
+	if s.quota > 0 && s.inflight[req.Tenant] >= s.quota {
+		err := &SaturatedError{
+			Reason:     fmt.Sprintf("tenant %q at quota (%d in-flight jobs)", req.Tenant, s.quota),
+			Queued:     len(s.pending),
+			RetryAfter: s.retryAfterLocked(),
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	if s.queueCap >= 0 && len(s.pending) >= s.queueCap {
+		err := &SaturatedError{
+			Reason:     fmt.Sprintf("queue full at %d", s.queueCap),
+			Queued:     len(s.pending),
+			RetryAfter: s.retryAfterLocked(),
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	deadline := req.Deadline
+	if s.deadline > 0 && (deadline <= 0 || deadline > s.deadline) {
+		deadline = s.deadline
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s.nextID++
-	j.id = fmt.Sprintf("job-%d", s.nextID)
+	j := &Job{
+		id:       fmt.Sprintf("job-%d", s.nextID),
+		spec:     req.Spec,
+		tenant:   req.Tenant,
+		key:      req.Key,
+		priority: req.Priority,
+		deadline: deadline,
+		seq:      s.seq,
+		index:    -1,
+		svc:      s,
+		obs:      obs,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		status:   JobQueued,
+	}
+	s.seq++
+	if s.store != nil {
+		// Fail closed: a job the journal cannot record is a job the
+		// service never accepted.
+		if err := s.store.submitted(j); err != nil {
+			s.nextID--
+			s.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("congest: journal write failed: %w", err)
+		}
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if req.Key != "" {
+		s.keys[tenantKey(req.Tenant, req.Key)] = j.id
+	}
+	s.inflight[req.Tenant]++
 	s.evictLocked()
-	s.wg.Add(1)
+	s.jobsWG.Add(1)
+	heap.Push(&s.pending, j)
+	s.cond.Signal()
 	s.mu.Unlock()
-	go s.execute(ctx, j, obs)
 	return j, nil
 }
 
+// retryAfterLocked estimates how long a rejected client should wait: one
+// second per wave of queued-plus-running work over the worker budget,
+// capped at 30s. Callers hold s.mu.
+func (s *Service) retryAfterLocked() time.Duration {
+	waves := 1 + (len(s.pending)+s.running)/s.workers
+	d := time.Duration(waves) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// dequeue removes a still-queued job from the pending heap, reporting
+// whether it did. Exactly one caller wins for any job: the worker pop,
+// a Cancel, or a drain.
+func (s *Service) dequeue(j *Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.index < 0 {
+		return false
+	}
+	heap.Remove(&s.pending, j.index)
+	return true
+}
+
+// worker is one unit of the WithWorkers budget: it pops the
+// highest-priority pending job, runs it to a terminal state, and repeats
+// until the service drains. Jobs only ever execute on these goroutines,
+// so the budget cannot be exceeded.
+func (s *Service) worker() {
+	defer s.workersWG.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.pending).(*Job)
+		s.running++
+		s.mu.Unlock()
+
+		s.runJob(j)
+
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	if j.ctx.Err() != nil {
+		s.finishJob(j, Result{}, j.ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.status = JobRunning
+	j.mu.Unlock()
+	if s.store != nil {
+		s.store.running(j.id)
+	}
+	ctx := j.ctx
+	if j.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.deadline)
+		defer cancel()
+	}
+	res, err := s.session.RunObserved(ctx, j.spec, j.obs)
+	s.finishJob(j, res, err)
+}
+
+// finishJob records a job's terminal state, journals it, and releases its
+// admission accounting. A job cancelled by a drain (preempted) skips the
+// terminal record on purpose: the journal then shows it in flight, and
+// the next OpenService re-runs it.
+func (s *Service) finishJob(j *Job, res Result, err error) {
+	j.cancel()
+	j.finish(res, err)
+	j.mu.Lock()
+	status, preempted := j.status, j.preempted
+	j.mu.Unlock()
+	if s.store != nil && !(preempted && status == JobCancelled) {
+		s.store.terminal(j.id, status, res, err)
+	}
+	s.mu.Lock()
+	s.inflight[j.tenant]--
+	if s.inflight[j.tenant] <= 0 {
+		delete(s.inflight, j.tenant)
+	}
+	s.mu.Unlock()
+	s.jobsWG.Done()
+}
+
+// finish records the terminal state.
+func (j *Job) finish(res Result, err error) {
+	j.mu.Lock()
+	j.res, j.err = res, err
+	switch {
+	case err == nil && !res.Meta.Cancelled:
+		j.status = JobDone
+	case err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = JobCancelled
+	default:
+		j.status = JobFailed
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
 // evictLocked drops the oldest terminal jobs (and their retained Results)
-// while the service holds more than its history budget. Callers hold s.mu.
+// while the service holds more than its history budget, journaling each
+// eviction so a restart does not resurrect them. Callers hold s.mu.
 //
 // Jobs still holding live checkpoint files are never evicted: the job
 // entry is the only API-reachable owner of its (dir, spec hash) — losing
@@ -173,6 +529,12 @@ func (s *Service) evictLocked() {
 		j.mu.Unlock()
 		if excess > 0 && terminal && !j.holdsCheckpoints() {
 			delete(s.jobs, id)
+			if j.key != "" {
+				delete(s.keys, tenantKey(j.tenant, j.key))
+			}
+			if s.store != nil {
+				s.store.deleted(id)
+			}
 			excess--
 			continue
 		}
@@ -187,9 +549,10 @@ func (j *Job) holdsCheckpoints() bool {
 	return cs != nil && checkpoint.HasAny(cs.Dir, j.spec.SpecHash())
 }
 
-// Delete cancels the job if it is still running, waits for it to stop,
-// removes it from the service's history, and reaps its checkpoint files.
-// The one sanctioned way to drop a checkpoint-holding job.
+// Delete cancels the job if it is still queued or running, waits for it
+// to stop, removes it from the service's history (journaling the
+// deletion), and reaps its checkpoint files. The one sanctioned way to
+// drop a checkpoint-holding job.
 func (s *Service) Delete(id string) error {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -197,54 +560,27 @@ func (s *Service) Delete(id string) error {
 	if !ok {
 		return fmt.Errorf("congest: no such job %q", id)
 	}
-	j.cancel()
+	j.Cancel()
 	<-j.done
 	s.mu.Lock()
 	delete(s.jobs, id)
+	if j.key != "" {
+		delete(s.keys, tenantKey(j.tenant, j.key))
+	}
 	for i, oid := range s.order {
 		if oid == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
 	}
+	if s.store != nil {
+		s.store.deleted(id)
+	}
 	s.mu.Unlock()
 	if cs := j.spec.Checkpoint; cs != nil {
 		return checkpoint.Reap(cs.Dir, j.spec.SpecHash())
 	}
 	return nil
-}
-
-func (s *Service) execute(ctx context.Context, j *Job, obs Observer) {
-	defer s.wg.Done()
-	defer j.cancel()
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		j.finish(Result{}, ctx.Err())
-		return
-	}
-	j.mu.Lock()
-	j.status = JobRunning
-	j.mu.Unlock()
-	res, err := s.session.RunObserved(ctx, j.spec, obs)
-	j.finish(res, err)
-}
-
-// finish records the terminal state.
-func (j *Job) finish(res Result, err error) {
-	j.mu.Lock()
-	j.res, j.err = res, err
-	switch {
-	case err == nil:
-		j.status = JobDone
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || res.Meta.Cancelled:
-		j.status = JobCancelled
-	default:
-		j.status = JobFailed
-	}
-	j.mu.Unlock()
-	close(j.done)
 }
 
 // Job returns a submitted job by id.
@@ -266,23 +602,136 @@ func (s *Service) Jobs() []*Job {
 	return out
 }
 
-// Close cancels every unfinished job, waits for them to stop, and rejects
-// further submissions.
-func (s *Service) Close() {
+// ServiceStats is a point-in-time snapshot of the service's load, the
+// payload behind the server's /v1/stats endpoint.
+type ServiceStats struct {
+	// Workers is the concurrent-job budget (WithWorkers).
+	Workers int `json:"workers"`
+	// QueueDepth is the configured pending-queue bound (<0 = unlimited).
+	QueueDepth int `json:"queueDepth"`
+	// Queued and Running count jobs in those states right now.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	// Terminal counts retained finished jobs.
+	Terminal int `json:"terminal"`
+	// Draining reports that shutdown has begun and admission is closed.
+	Draining bool `json:"draining"`
+	// Tenants maps each tenant with in-flight jobs to its queued+running
+	// count.
+	Tenants map[string]int `json:"tenants,omitempty"`
+	// JournalError carries the first journal append failure, if any ("" =
+	// healthy). Once set, the in-memory job table is still correct but
+	// durability has stopped.
+	JournalError string `json:"journalError,omitempty"`
+}
+
+// Stats returns a snapshot of the service's current load.
+func (s *Service) Stats() ServiceStats {
 	s.mu.Lock()
-	if s.closed {
+	defer s.mu.Unlock()
+	inflight := 0
+	var tenants map[string]int
+	if len(s.inflight) > 0 {
+		tenants = make(map[string]int, len(s.inflight))
+		for t, n := range s.inflight {
+			tenants[t] = n
+			inflight += n
+		}
+	}
+	st := ServiceStats{
+		Workers:    s.workers,
+		QueueDepth: s.queueCap,
+		Queued:     len(s.pending),
+		Running:    s.running,
+		Terminal:   len(s.jobs) - inflight,
+		Draining:   s.draining,
+		Tenants:    tenants,
+	}
+	if s.store != nil {
+		if err := s.store.journalErr(); err != nil {
+			st.JournalError = err.Error()
+		}
+	}
+	return st
+}
+
+// Close drains the service with no deadline: admission stops, queued jobs
+// finish as JobCancelled, running jobs stop at their next round boundary
+// (persisting a checkpoint first when checkpointing is on), and Close
+// blocks until every job is terminal and the worker pool has exited.
+// Idempotent; concurrent and repeat calls all block until the drain
+// completes. On a journaled service the interrupted jobs are recorded as
+// preempted, so the next OpenService re-runs them. For a bounded
+// shutdown, use CloseContext.
+func (s *Service) Close() {
+	s.CloseContext(context.Background())
+}
+
+// CloseContext is Close bounded by ctx: it begins the same drain and
+// waits for it to complete, returning nil on a clean drain or ctx's error
+// if the deadline expires first. The drain itself keeps going in the
+// background either way — only the wait is abandoned, so a caller that
+// times out can exit knowing the journal already holds every preemption
+// record (they are written before the jobs are cancelled).
+func (s *Service) CloseContext(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Take the queue: these jobs are finished directly, below.
+		pend := make([]*Job, len(s.pending))
+		copy(pend, s.pending)
+		for _, j := range pend {
+			j.index = -1
+		}
+		s.pending = s.pending[:0]
+		// Journal the preemptions before any cancellation, so even a
+		// drain that is itself killed leaves every in-flight job
+		// recoverable.
+		var interrupted []*Job
+		for _, id := range s.order {
+			j := s.jobs[id]
+			j.mu.Lock()
+			terminal := j.status == JobDone || j.status == JobCancelled || j.status == JobFailed
+			if !terminal {
+				j.preempted = true
+			}
+			j.mu.Unlock()
+			if !terminal {
+				if s.store != nil {
+					s.store.preempted(j.id)
+				}
+				interrupted = append(interrupted, j)
+			}
+		}
+		s.cond.Broadcast()
 		s.mu.Unlock()
-		s.wg.Wait()
-		return
+		for _, j := range pend {
+			j.cancel()
+			s.finishJob(j, Result{}, context.Canceled)
+		}
+		for _, j := range interrupted {
+			j.cancel()
+		}
+	} else {
+		s.mu.Unlock()
 	}
-	s.closed = true
-	jobs := make([]*Job, 0, len(s.order))
-	for _, id := range s.order {
-		jobs = append(jobs, s.jobs[id])
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		s.workersWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		first := !s.closed
+		s.closed = true
+		s.mu.Unlock()
+		if first && s.store != nil {
+			s.store.close()
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("congest: drain interrupted: %w", ctx.Err())
 	}
-	s.mu.Unlock()
-	for _, j := range jobs {
-		j.cancel()
-	}
-	s.wg.Wait()
 }

@@ -330,6 +330,31 @@ func Nearest(dir, specHash string, round int) (*Checkpoint, string, error) {
 	return nil, "", fmt.Errorf("%w: at or below round %d for %s in %s", ErrNotFound, round, specHash, dir)
 }
 
+// Rounds returns the rounds of every checkpoint for specHash in dir,
+// ascending, from file names alone — no container is loaded, so this is
+// the cheap discovery path for recovery and status reporting.
+func Rounds(dir, specHash string) []int {
+	var out []int
+	for _, f := range list(dir, specHash) {
+		if r, ok := roundOf(f, specHash); ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LatestRound returns the highest checkpoint round for specHash in dir
+// (from file names alone), and whether any checkpoint exists. A restarting
+// server uses it to report where a recovered job will resume without
+// paying for a payload load.
+func LatestRound(dir, specHash string) (int, bool) {
+	rounds := Rounds(dir, specHash)
+	if len(rounds) == 0 {
+		return 0, false
+	}
+	return rounds[len(rounds)-1], true
+}
+
 // Reap removes every checkpoint file for specHash in dir. Missing
 // directories are not an error.
 func Reap(dir, specHash string) error {

@@ -197,6 +197,17 @@ func TestSaveLoadLatestReap(t *testing.T) {
 	if !HasAny(dir, meta.SpecHash) {
 		t.Fatalf("HasAny false after saves")
 	}
+	// Name-only discovery: Rounds/LatestRound agree with the files written
+	// and never see the other family.
+	if got := Rounds(dir, meta.SpecHash); !reflect.DeepEqual(got, []int{0, 8, 16}) {
+		t.Fatalf("Rounds = %v, want [0 8 16]", got)
+	}
+	if r, ok := LatestRound(dir, meta.SpecHash); !ok || r != 16 {
+		t.Fatalf("LatestRound = %d, %v", r, ok)
+	}
+	if _, ok := LatestRound(dir, "ffffeeeeddddcccc"); ok {
+		t.Fatalf("LatestRound found a checkpoint for an unknown family")
+	}
 	ck, path, err := Latest(dir, meta.SpecHash)
 	if err != nil {
 		t.Fatalf("Latest: %v", err)

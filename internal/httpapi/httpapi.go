@@ -1,0 +1,301 @@
+// Package httpapi implements the triserve HTTP JSON API over one
+// congest.Service. It is split from cmd/triserve so both the server
+// binary and the trictl client tests can stand up the exact production
+// handler.
+//
+// Error discipline: every non-2xx response is a JSON body with a
+// machine-readable "error" field — including the mux's own 404/405
+// fallbacks. Admission-control rejections are 429 with a Retry-After
+// header (whole seconds, from the service's backoff hint); submissions
+// to a draining or closed service are 503.
+//
+// Submission endpoints accept admission metadata as query parameters
+// (the body is exactly the JobSpec, same as a synchronous run):
+//
+//	tenant    quota accounting ("" = anonymous)
+//	key       idempotency key, scoped per tenant: retries are safe
+//	priority  integer, higher runs first
+//	deadline  Go duration (e.g. "30s"), capped at the server deadline
+//
+// Unknown query parameters are a 400, mirroring the strict unknown-field
+// handling of job spec bodies. GET /v1/jobs/{id} additionally accepts
+// wait=<duration> to long-poll until the job is terminal (or the wait
+// expires), which is what trictl watch uses.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/congest"
+)
+
+// maxBodyBytes bounds request bodies; specs are small (inline edge lists
+// included) and anything bigger is abuse.
+const maxBodyBytes = 4 << 20
+
+// maxWait caps the long-poll duration of GET /v1/jobs/{id}?wait=...
+const maxWait = 60 * time.Second
+
+// jobView is the wire form of a job's state.
+type jobView struct {
+	ID       string            `json:"id"`
+	Status   congest.JobStatus `json:"status"`
+	Tenant   string            `json:"tenant,omitempty"`
+	Key      string            `json:"key,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+	Spec     congest.JobSpec   `json:"spec"`
+	Result   *congest.Result   `json:"result,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+func viewOf(j *congest.Job) jobView {
+	v := jobView{ID: j.ID(), Status: j.Status(), Tenant: j.Tenant(), Key: j.Key(), Priority: j.Priority(), Spec: j.Spec()}
+	if res, err, terminal := j.Result(); terminal {
+		r := res
+		v.Result = &r
+		if err != nil {
+			v.Error = err.Error()
+		}
+	}
+	return v
+}
+
+// New builds the HTTP API over one service.
+func New(svc *congest.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, congest.AlgorithmNames())
+	})
+	mux.HandleFunc("GET /v1/generators", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, congest.GeneratorNames())
+	})
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, congest.Experiments())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := readSubmit(w, r)
+		if !ok {
+			return
+		}
+		// Synchronous runs go through the same Service as async ones, so the
+		// -workers budget bounds them too. The request context cancels the
+		// job when the client goes away; the deterministic prefix is still
+		// returned (with meta.cancelled set) in case the write still
+		// reaches someone.
+		j, err := svc.SubmitJob(req)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			j.Cancel()
+			<-j.Done()
+		}
+		res, err, _ := j.Result()
+		if err != nil && !res.Meta.Cancelled {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := readSubmit(w, r)
+		if !ok {
+			return
+		}
+		j, err := svc.SubmitJob(req)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, viewOf(j))
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := svc.Jobs()
+		views := make([]jobView, len(jobs))
+		for i, j := range jobs {
+			views[i] = viewOf(j)
+		}
+		writeJSON(w, http.StatusOK, views)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		if v := r.URL.Query().Get("wait"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait duration %q", v))
+				return
+			}
+			if d > maxWait {
+				d = maxWait
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-j.Done():
+			case <-t.C:
+			case <-r.Context().Done():
+			}
+		}
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		j.Cancel()
+		<-j.Done()
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := svc.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such job"))
+			return
+		}
+		if err := svc.Delete(j.ID()); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, viewOf(j))
+	})
+	return &api{mux: mux}
+}
+
+// api wraps the mux so unrouted requests get the same JSON error bodies
+// as routed ones: the stock ServeMux fallbacks write text/plain, which
+// would be the one place a client sees a non-JSON error.
+type api struct {
+	mux *http.ServeMux
+}
+
+func (a *api) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := a.mux.Handler(r); pattern != "" {
+		a.mux.ServeHTTP(w, r)
+		return
+	}
+	// No route. Probe the mux's own fallback for the status (404 vs 405)
+	// and its Allow header, then answer in JSON.
+	probe := &statusProbe{header: make(http.Header)}
+	a.mux.ServeHTTP(probe, r)
+	code := probe.code
+	if code == 0 {
+		code = http.StatusNotFound
+	}
+	if allow := probe.header.Get("Allow"); allow != "" {
+		w.Header().Set("Allow", allow)
+	}
+	writeError(w, code, errors.New(http.StatusText(code)))
+}
+
+// statusProbe is a throwaway ResponseWriter capturing only status and
+// headers.
+type statusProbe struct {
+	header http.Header
+	code   int
+}
+
+func (p *statusProbe) Header() http.Header { return p.header }
+func (p *statusProbe) WriteHeader(code int) {
+	if p.code == 0 {
+		p.code = code
+	}
+}
+func (p *statusProbe) Write(b []byte) (int, error) {
+	if p.code == 0 {
+		p.code = http.StatusOK
+	}
+	return len(b), nil
+}
+
+// readSubmit decodes a strict JobSpec body plus the admission query
+// parameters, answering 400 on any shape problem (unknown fields and
+// unknown query parameters included).
+func readSubmit(w http.ResponseWriter, r *http.Request) (congest.SubmitRequest, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return congest.SubmitRequest{}, false
+	}
+	spec, err := congest.ParseJobSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return congest.SubmitRequest{}, false
+	}
+	q := r.URL.Query()
+	for k := range q {
+		switch k {
+		case "tenant", "key", "priority", "deadline":
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown query parameter %q", k))
+			return congest.SubmitRequest{}, false
+		}
+	}
+	req := congest.SubmitRequest{Spec: spec, Tenant: q.Get("tenant"), Key: q.Get("key")}
+	if v := q.Get("priority"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad priority %q", v))
+			return congest.SubmitRequest{}, false
+		}
+		req.Priority = p
+	}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad deadline %q", v))
+			return congest.SubmitRequest{}, false
+		}
+		req.Deadline = d
+	}
+	return req, true
+}
+
+// writeSubmitError maps a Service submission failure: saturation is 429
+// with Retry-After, a draining/closed service is 503.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var sat *congest.SaturatedError
+	if errors.As(err, &sat) {
+		secs := int(math.Ceil(sat.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

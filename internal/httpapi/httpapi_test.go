@@ -1,0 +1,219 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/congest"
+)
+
+func startServer(t *testing.T, opts ...congest.Option) *httptest.Server {
+	t.Helper()
+	svc := congest.NewService(opts...)
+	srv := httptest.NewServer(New(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv
+}
+
+func do(t *testing.T, method, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// errorField asserts the machine-readable JSON error body contract and
+// returns the error string.
+func errorField(t *testing.T, body []byte) string {
+	t.Helper()
+	var v struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil || v.Error == "" {
+		t.Fatalf("error body not machine-readable: %v\n%s", err, body)
+	}
+	return v.Error
+}
+
+const fastSpec = `{"graph":{"generator":"gnp","n":24,"p":0.5,"seed":1},"algo":"find","seed":7}`
+const slowSpec = `{"graph":{"generator":"gnp","n":96,"p":0.5,"seed":1},"algo":"list","seed":1,"verify":"none"}`
+
+// TestAPISubmitMetadata: admission metadata rides on query parameters,
+// is echoed in the job view, and idempotency keys deduplicate retries.
+func TestAPISubmitMetadata(t *testing.T) {
+	srv := startServer(t)
+	resp, body := do(t, http.MethodPost, srv.URL+"/v1/jobs?tenant=acme&key=k1&priority=7", fastSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var v struct {
+		ID       string `json:"id"`
+		Tenant   string `json:"tenant"`
+		Key      string `json:"key"`
+		Priority int    `json:"priority"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Tenant != "acme" || v.Key != "k1" || v.Priority != 7 {
+		t.Fatalf("metadata not echoed: %+v", v)
+	}
+	// The retry returns the same job, not a duplicate.
+	resp2, body2 := do(t, http.MethodPost, srv.URL+"/v1/jobs?tenant=acme&key=k1&priority=7", fastSpec)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry status %d", resp2.StatusCode)
+	}
+	var v2 struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body2, &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.ID != v.ID {
+		t.Fatalf("idempotent retry created %s, want %s", v2.ID, v.ID)
+	}
+	// Long-poll until terminal.
+	resp3, body3 := do(t, http.MethodGet, srv.URL+"/v1/jobs/"+v.ID+"?wait=30s", "")
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("wait status %d", resp3.StatusCode)
+	}
+	var done struct {
+		Status congest.JobStatus `json:"status"`
+		Result *congest.Result   `json:"result"`
+	}
+	if err := json.Unmarshal(body3, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != congest.JobDone || done.Result == nil {
+		t.Fatalf("long-poll returned %s without result", done.Status)
+	}
+}
+
+// TestAPISaturation: a tenant over quota gets 429 with a Retry-After
+// header and a JSON error body; other tenants are unaffected.
+func TestAPISaturation(t *testing.T) {
+	srv := startServer(t, congest.WithWorkers(1), congest.WithTenantQuota(1))
+	resp, body := do(t, http.MethodPost, srv.URL+"/v1/jobs?tenant=a", slowSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d: %s", resp.StatusCode, body)
+	}
+	var first struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	resp2, body2 := do(t, http.MethodPost, srv.URL+"/v1/jobs?tenant=a", slowSpec)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d: %s", resp2.StatusCode, body2)
+	}
+	ra := resp2.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q", ra)
+	}
+	if msg := errorField(t, body2); !strings.Contains(msg, "saturated") {
+		t.Fatalf("error body %q", msg)
+	}
+
+	resp3, body3 := do(t, http.MethodPost, srv.URL+"/v1/jobs?tenant=b", fastSpec)
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant status %d: %s", resp3.StatusCode, body3)
+	}
+	// Stats reflect the load and the tenant attribution.
+	_, stats := do(t, http.MethodGet, srv.URL+"/v1/stats", "")
+	var st congest.ServiceStats
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 1 || st.Tenants["a"] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Unblock the slow job so Cleanup's drain is quick.
+	do(t, http.MethodPost, srv.URL+"/v1/jobs/"+first.ID+"/cancel", "")
+}
+
+// TestAPIStrictParams: unknown or malformed query parameters are 400s
+// with machine-readable bodies, like unknown spec fields.
+func TestAPIStrictParams(t *testing.T) {
+	srv := startServer(t)
+	cases := []struct {
+		method, path, body string
+	}{
+		{http.MethodPost, "/v1/jobs?tenannt=a", fastSpec},
+		{http.MethodPost, "/v1/jobs?priority=high", fastSpec},
+		{http.MethodPost, "/v1/jobs?deadline=never", fastSpec},
+		{http.MethodPost, "/v1/jobs?deadline=-5s", fastSpec},
+		{http.MethodPost, "/v1/run?wait=1s", fastSpec},
+	}
+	for _, tc := range cases {
+		resp, body := do(t, tc.method, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		errorField(t, body)
+	}
+	// Bad wait on the job getter too (after creating a real job).
+	resp, body := do(t, http.MethodPost, srv.URL+"/v1/jobs", fastSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	resp2, body2 := do(t, http.MethodGet, srv.URL+"/v1/jobs/"+v.ID+"?wait=forever", "")
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait status %d", resp2.StatusCode)
+	}
+	errorField(t, body2)
+}
+
+// TestAPIFallbackJSON: even unrouted requests answer in JSON — 404 for
+// unknown paths, 405 (with Allow) for wrong methods.
+func TestAPIFallbackJSON(t *testing.T) {
+	srv := startServer(t)
+	resp, body := do(t, http.MethodGet, srv.URL+"/nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("404 content type %q", ct)
+	}
+	errorField(t, body)
+
+	resp2, body2 := do(t, http.MethodDelete, srv.URL+"/v1/run", "")
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("wrong method status %d", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Allow") == "" {
+		t.Fatal("405 without Allow header")
+	}
+	errorField(t, body2)
+}

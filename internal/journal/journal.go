@@ -1,0 +1,277 @@
+// Package journal implements the durable append-only record log behind
+// the service's crash-safe job store: a versioned little-endian container
+// (mirroring internal/checkpoint's header/checksum discipline) holding a
+// sequence of typed, individually checksummed records.
+//
+// File layout, all little-endian:
+//
+//	offset  size  field
+//	0       4     magic "TRIJ"
+//	4       4     version (uint32, currently 1)
+//	8       8     reserved, must be zero in version 1
+//	16      ...   records, back to back
+//
+// Record frame:
+//
+//	offset  size  field
+//	0       4     payload length in bytes (uint32)
+//	4       4     kind (uint32, caller-defined record type)
+//	8       8     FNV-64a checksum over kind (4 LE bytes) || payload
+//	16      ...   payload, exactly payload-length bytes
+//
+// Decoding is strict and fail-closed: a bad magic, version, checksum or
+// absurd length is ErrCorrupt/ErrVersion — never a wrong-but-plausible
+// record. The one sanctioned lenience is the torn tail: a process killed
+// mid-append leaves a prefix of the final frame, which Open reports as
+// ErrTruncated, drops, and truncates away so the log is append-clean
+// again. Torn tails are distinguishable from corruption because frames are
+// written with a single contiguous write: a crash can shorten the file,
+// never scramble an earlier complete frame.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+)
+
+const (
+	fileMagic   = "TRIJ"
+	fileVersion = 1
+	headerLen   = 16
+	frameLen    = 16
+
+	// maxPayloadLen bounds a record payload read from a frame header
+	// before any allocation (1 GiB — far beyond any job record, small
+	// enough to reject absurd frames immediately).
+	maxPayloadLen = 1 << 30
+)
+
+// Typed failure classes, all errors.Is-able through wrapping.
+var (
+	// ErrCorrupt reports a malformed or checksum-failing container.
+	ErrCorrupt = errors.New("journal: corrupt container")
+	// ErrVersion reports an unsupported container version.
+	ErrVersion = errors.New("journal: unsupported version")
+	// ErrTruncated reports data that ends mid-frame: the torn tail a
+	// crash mid-append leaves behind. Replay treats it as clean
+	// end-of-log (dropping the partial frame); any other decode failure
+	// is corruption.
+	ErrTruncated = errors.New("journal: truncated record")
+)
+
+// Record is one typed journal entry.
+type Record struct {
+	Kind    uint32
+	Payload []byte
+}
+
+// EncodeRecord serializes one record frame.
+func EncodeRecord(kind uint32, payload []byte) []byte {
+	out := make([]byte, frameLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], kind)
+	binary.LittleEndian.PutUint64(out[8:16], recordSum(kind, payload))
+	copy(out[frameLen:], payload)
+	return out
+}
+
+// recordSum is the per-record FNV-64a checksum over kind || payload.
+func recordSum(kind uint32, payload []byte) uint64 {
+	h := fnv.New64a()
+	var kb [4]byte
+	binary.LittleEndian.PutUint32(kb[:], kind)
+	h.Write(kb[:])
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// DecodeRecord parses one record frame from the front of data, returning
+// the record, the remaining bytes, and the frame's encoded length. Data
+// that ends mid-frame is ErrTruncated; a complete frame that fails its
+// checksum or declares an absurd length is ErrCorrupt.
+func DecodeRecord(data []byte) (Record, []byte, error) {
+	if len(data) < frameLen {
+		return Record{}, nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte frame header", ErrTruncated, len(data), frameLen)
+	}
+	plen := binary.LittleEndian.Uint32(data[0:4])
+	if plen > maxPayloadLen {
+		return Record{}, nil, fmt.Errorf("%w: absurd payload length %d", ErrCorrupt, plen)
+	}
+	kind := binary.LittleEndian.Uint32(data[4:8])
+	if uint64(len(data)-frameLen) < uint64(plen) {
+		return Record{}, nil, fmt.Errorf("%w: frame declares %d payload bytes, %d remain", ErrTruncated, plen, len(data)-frameLen)
+	}
+	payload := data[frameLen : frameLen+plen]
+	if got, exp := recordSum(kind, payload), binary.LittleEndian.Uint64(data[8:16]); got != exp {
+		return Record{}, nil, fmt.Errorf("%w: record checksum %#x, stored %#x", ErrCorrupt, got, exp)
+	}
+	rec := Record{Kind: kind, Payload: append([]byte(nil), payload...)}
+	return rec, data[frameLen+plen:], nil
+}
+
+// encodeHeader builds the 16-byte file header.
+func encodeHeader() []byte {
+	out := make([]byte, headerLen)
+	copy(out[0:4], fileMagic)
+	binary.LittleEndian.PutUint32(out[4:8], fileVersion)
+	return out
+}
+
+// checkHeader validates the file header bytes.
+func checkHeader(data []byte) error {
+	if len(data) < headerLen {
+		return fmt.Errorf("%w: %d bytes is shorter than the %d-byte file header", ErrTruncated, len(data), headerLen)
+	}
+	if string(data[0:4]) != fileMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != fileVersion {
+		return fmt.Errorf("%w: version %d (want %d)", ErrVersion, v, fileVersion)
+	}
+	for _, b := range data[8:headerLen] {
+		if b != 0 {
+			return fmt.Errorf("%w: nonzero reserved header bytes", ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+// Decode parses a whole journal image strictly: header plus records, no
+// lenience at all — a torn tail is ErrTruncated, everything else
+// ErrCorrupt/ErrVersion. It is the fuzzing and verification entry point;
+// crash recovery goes through Open, which tolerates (and repairs) the
+// tail.
+func Decode(data []byte) ([]Record, error) {
+	if err := checkHeader(data); err != nil {
+		return nil, err
+	}
+	var recs []Record
+	rest := data[headerLen:]
+	for len(rest) > 0 {
+		rec, tail, err := DecodeRecord(rest)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		rest = tail
+	}
+	return recs, nil
+}
+
+// Writer is an append-only journal handle. Every Append is flushed with
+// fsync before returning, so an acknowledged record survives kill -9; a
+// crash mid-append loses at most the record being written. Writer is not
+// safe for concurrent use; callers serialize.
+type Writer struct {
+	f *os.File
+}
+
+// Open opens (or creates) the journal at path, replays its records, and
+// returns a Writer positioned for appends. A torn final record — the
+// kill -9 signature — is dropped and truncated away; any other decode
+// failure fails closed with the typed error. The returned records are in
+// append order.
+func Open(path string) (*Writer, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		// Fresh file: write the header.
+		if _, err := f.Write(encodeHeader()); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &Writer{f: f}, nil, nil
+	}
+	if err := checkHeader(data); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var recs []Record
+	good := headerLen // offset of the last cleanly decoded frame boundary
+	rest := data[headerLen:]
+	for len(rest) > 0 {
+		rec, tail, err := DecodeRecord(rest)
+		if errors.Is(err, ErrTruncated) {
+			// Torn tail: drop the partial frame and truncate so the next
+			// append starts on a clean boundary.
+			if err := f.Truncate(int64(good)); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		recs = append(recs, rec)
+		good += frameLen + len(rec.Payload)
+		rest = tail
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Writer{f: f}, recs, nil
+}
+
+// Append writes one record frame and fsyncs it.
+func (w *Writer) Append(kind uint32, payload []byte) error {
+	if _, err := w.f.Write(EncodeRecord(kind, payload)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error {
+	return w.f.Close()
+}
+
+// ReadFile replays a journal file read-only, with the same torn-tail
+// lenience as Open (but without repairing the file).
+func ReadFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if err := checkHeader(data); err != nil {
+		return nil, err
+	}
+	var recs []Record
+	rest := data[headerLen:]
+	for len(rest) > 0 {
+		rec, tail, err := DecodeRecord(rest)
+		if errors.Is(err, ErrTruncated) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+		rest = tail
+	}
+	return recs, nil
+}

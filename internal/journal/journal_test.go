@@ -1,0 +1,254 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleRecords is a mixed-kind, mixed-size record sequence (including an
+// empty payload, which must round-trip too).
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: 1, Payload: []byte(`{"id":"job-1"}`)},
+		{Kind: 2, Payload: nil},
+		{Kind: 3, Payload: bytes.Repeat([]byte("x"), 1024)},
+		{Kind: 7, Payload: []byte{0, 1, 2, 0xFF}},
+	}
+}
+
+func writeSample(t *testing.T, path string) []Record {
+	t.Helper()
+	w, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := w.Append(r.Kind, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// recordsEqual compares modulo the nil-vs-empty payload distinction,
+// which the container does not preserve (an empty payload decodes as
+// empty, not nil).
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJournalAppendReopen: records appended in one session replay
+// identically in the next, and appends continue cleanly after a reopen.
+func TestJournalAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	want := writeSample(t, path)
+
+	w, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recordsEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if err := w.Append(9, []byte("post-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	got2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(want)+1 || got2[len(want)].Kind != 9 {
+		t.Fatalf("post-reopen append lost: %+v", got2)
+	}
+}
+
+// TestJournalTornTail: a partial final frame — the kill -9 signature — is
+// dropped on Open, the file is repaired, and subsequent appends land
+// cleanly.
+func TestJournalTornTail(t *testing.T) {
+	for cut := 1; cut < frameLen+8; cut += 3 {
+		path := filepath.Join(t.TempDir(), "jobs.journal")
+		want := writeSample(t, path)
+		// Tear: append a frame, then chop `cut` bytes short of its end.
+		full := EncodeRecord(42, []byte("torn away by the crash"))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, full[:len(full)-cut]...)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		w, got, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !recordsEqual(got, want) {
+			t.Fatalf("cut %d: torn tail corrupted earlier records", cut)
+		}
+		if err := w.Append(5, []byte("after repair")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		got2, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("cut %d: reread after repair: %v", cut, err)
+		}
+		if len(got2) != len(want)+1 || got2[len(want)].Kind != 5 {
+			t.Fatalf("cut %d: repair did not leave a clean append boundary", cut)
+		}
+	}
+}
+
+// TestJournalFailsClosed: mid-file corruption (not a torn tail) is a
+// typed, fail-closed error from both Open and Decode.
+func TestJournalFailsClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"bad magic", func(d []byte) []byte { d[0] ^= 0xFF; return d }, ErrCorrupt},
+		{"bad version", func(d []byte) []byte { d[4] = 99; return d }, ErrVersion},
+		{"nonzero reserved", func(d []byte) []byte { d[12] = 1; return d }, ErrCorrupt},
+		{"first record checksum", func(d []byte) []byte { d[headerLen+frameLen] ^= 0xFF; return d }, ErrCorrupt},
+		{"first record kind", func(d []byte) []byte { d[headerLen+4] ^= 0xFF; return d }, ErrCorrupt},
+		{"absurd length", func(d []byte) []byte {
+			d[headerLen+3] = 0xFF // payload length high byte: > maxPayloadLen
+			return d
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		mut := tc.mutate(append([]byte(nil), data...))
+		p := filepath.Join(t.TempDir(), "mut.journal")
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(p); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Open err %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := Decode(mut); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Decode err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestJournalDecodeStrict: the strict whole-image decoder flags torn
+// tails as ErrTruncated rather than silently dropping them.
+func TestJournalDecodeStrict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("clean image rejected: %v", err)
+	}
+	if _, err := Decode(data[:len(data)-3]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn image: err %v, want ErrTruncated", err)
+	}
+	if _, err := Decode(data[:headerLen-2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn header: err %v, want ErrTruncated", err)
+	}
+}
+
+// FuzzJournalRoundTrip pins the record frame's fail-closed contract,
+// mirroring FuzzCheckpointRoundTrip: whatever bytes arrive, DecodeRecord
+// either rejects them with a typed error or accepts a record — and every
+// accepted record re-encodes byte-identically to the bytes it consumed.
+// There is no third outcome (a wrong-but-successful replay source).
+func FuzzJournalRoundTrip(f *testing.F) {
+	valid := EncodeRecord(3, []byte("fuzz seed payload"))
+	f.Add(valid)
+	f.Add(valid[:frameLen])     // header intact, payload missing -> truncated
+	f.Add(valid[:7])            // sub-frame truncation
+	f.Add(EncodeRecord(0, nil)) // empty payload, kind 0
+	for _, off := range []int{0, 3, 4, 8, 15, frameLen, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[off] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add(append(append([]byte(nil), valid...), valid...)) // two frames back to back
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, rest, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("DecodeRecord failed with untyped error: %v", err)
+			}
+			return
+		}
+		consumed := data[:len(data)-len(rest)]
+		re := EncodeRecord(rec.Kind, rec.Payload)
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("accepted record does not re-encode byte-identically")
+		}
+		rec2, rest2, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(rest2) != 0 || rec2.Kind != rec.Kind || !bytes.Equal(rec2.Payload, rec.Payload) {
+			t.Fatalf("re-decode disagrees with first decode")
+		}
+	})
+}
+
+// TestJournalWholeFileRoundTrip: a full journal image decodes to the
+// records that were appended, and Decode(re-encoded image) agrees.
+func TestJournalWholeFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	want := writeSample(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recordsEqual(got, want) {
+		t.Fatalf("decode mismatch: %+v", got)
+	}
+	// Rebuild the image from the decoded records: byte-identical.
+	re := encodeHeader()
+	for _, r := range got {
+		re = append(re, EncodeRecord(r.Kind, r.Payload)...)
+	}
+	if !bytes.Equal(re, data) {
+		t.Fatal("journal image does not re-encode byte-identically")
+	}
+	if !reflect.DeepEqual(got, got) {
+		t.Fatal("unreachable")
+	}
+}

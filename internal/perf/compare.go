@@ -58,6 +58,11 @@ func DefaultToleranceFor(procs int) Tolerance {
 		// Sharding must never cost more than 2x even with nothing to gain
 		// from it (1 proc: same work plus staging overhead).
 		"speedup_large_sharded_vs_seq": 0.5,
+		// The durable service stack (admission, priority queue, journal
+		// hooks, worker pool) must never cost more than 2x over running the
+		// same jobs on one worker — at 1 proc the par run degenerates to the
+		// seq one plus scheduling overhead, so the ratio sits near 1.0.
+		"speedup_service_par_vs_seq": 0.5,
 		// Restoring the round-4096 checkpoint of the sparse workload must
 		// beat rebuilding that state by re-running from round 0 — otherwise
 		// resume is pointless and cold start should be used instead. The
@@ -80,6 +85,9 @@ func DefaultToleranceFor(procs int) Tolerance {
 		// With real cores behind the shard fan-outs, the sharded engine
 		// must pay on the million-node round loop.
 		floors["speedup_large_sharded_vs_seq"] = 1.2
+		// Independent jobs across a real pool must realize the worker
+		// parallelism end to end, through admission and the queue.
+		floors["speedup_service_par_vs_seq"] = 1.5
 	}
 	return Tolerance{
 		TimeFactor:  4.0,

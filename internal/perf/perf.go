@@ -42,6 +42,7 @@ type Entry struct {
 	RoundsPerSec    float64 `json:"rounds_per_sec,omitempty"`
 	WordsPerSec     float64 `json:"words_per_sec,omitempty"`
 	BytesPerSec     float64 `json:"bytes_per_sec,omitempty"`
+	JobsPerSec      float64 `json:"jobs_per_sec,omitempty"`
 
 	// NoAllocGate marks entries whose allocation count legitimately varies
 	// across machines (parallel fan-outs allocate per GOMAXPROCS worker);
@@ -128,6 +129,7 @@ var derivedRatios = []struct{ Key, Num, Den string }{
 	{"speedup_oracle_list_par_vs_seq", "ListTriangles/seq", "ListTriangles/par"},
 	{"speedup_oracle_count_par_vs_seq", "CountTriangles/seq", "CountTriangles/par"},
 	{"speedup_sweep_par_vs_seq", "Sweep/seq", "Sweep/par"},
+	{"speedup_service_par_vs_seq", "ServiceThroughput/seq", "ServiceThroughput/par"},
 	{"speedup_large_load_csrbin_vs_text", "LargeLoad/text", "LargeLoad/csrbin"},
 	{"speedup_large_sharded_vs_seq", "EngineStepLarge/seq", "EngineStepLarge/sharded"},
 	{"checkpoint_restore_vs_coldstart", "Checkpoint/coldstart", "Checkpoint/restore"},

@@ -1,6 +1,9 @@
 package perf
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"os"
@@ -8,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/congest"
 	"repro/internal/dynamic"
 	"repro/internal/expt"
 	"repro/internal/faults"
@@ -66,6 +70,10 @@ func Suites() []Suite {
 			{Name: "DynamicApply/incremental", Fn: DynamicApply(true)},
 			{Name: "DynamicApply/full", Fn: DynamicApply(false)},
 		}},
+		{Name: "service", Benches: []Bench{
+			{Name: "ServiceThroughput/seq", Fn: ServiceThroughput(1)},
+			{Name: "ServiceThroughput/par", Fn: ServiceThroughput(0), NoAllocGate: true},
+		}},
 		{Name: "large", Benches: []Bench{
 			{Name: "LargeLoad/text", Fn: LargeLoadText()},
 			{Name: "LargeLoad/csrbin", Fn: LargeLoadCSRBin()},
@@ -93,6 +101,7 @@ func Measure(b Bench) Entry {
 	e.RoundsPerSec = r.Extra["rounds/sec"]
 	e.WordsPerSec = r.Extra["words/sec"]
 	e.BytesPerSec = r.Extra["bytes/sec"]
+	e.JobsPerSec = r.Extra["jobs/sec"]
 	return e
 }
 
@@ -616,5 +625,88 @@ func DynamicApply(incremental bool) func(*testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(edges)/b.Elapsed().Seconds(), "edges/sec")
+	}
+}
+
+// --- Service workload ---------------------------------------------------
+
+// serviceJobs is the per-op batch size: enough independent jobs that the
+// worker pool, not per-submission bookkeeping, dominates each op.
+const serviceJobs = 8
+
+// serviceSpecs builds the batch of independent finding jobs the service
+// throughput bench pushes per op — distinct seeds so no two jobs share a
+// graph, VerifyNone so the oracle stays out of the measurement.
+func serviceSpecs() []congest.JobSpec {
+	specs := make([]congest.JobSpec, serviceJobs)
+	for i := range specs {
+		specs[i] = congest.JobSpec{
+			Graph:  congest.GraphSpec{Generator: "gnp", N: 48, P: 0.5, Seed: int64(i + 1)},
+			Algo:   "find",
+			Seed:   int64(i + 1),
+			Verify: congest.VerifyNone,
+		}
+	}
+	return specs
+}
+
+// ServiceThroughput measures end-to-end job throughput through the service
+// front end: one op submits serviceJobs independent jobs and waits for all
+// of them, so the admission path, priority queue, worker pool and result
+// plumbing are all on the measured path. workers=1 is the sequential
+// reference; workers=0 gives the pool every CPU — their ratio is the
+// `speedup_service_par_vs_seq` floor gating that the service layers don't
+// eat the worker parallelism. Each job's result is checked byte-identical
+// to the warmup run of the same spec, so the bench doubles as a
+// determinism check under pool concurrency.
+func ServiceThroughput(workers int) func(*testing.B) {
+	return func(b *testing.B) {
+		svc := congest.NewService(congest.WithWorkers(workers))
+		defer svc.Close()
+		specs := serviceSpecs()
+		ctx := context.Background()
+		// Warm one batch (graph generation, worker startup) and pin each
+		// spec's ground-truth result bytes.
+		want := make([][]byte, len(specs))
+		for i, spec := range specs {
+			j, err := svc.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := j.Wait(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if want[i], err = json.Marshal(res); err != nil {
+				b.Fatal(err)
+			}
+		}
+		jobs := make([]*congest.Job, len(specs))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for i, spec := range specs {
+				j, err := svc.Submit(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs[i] = j
+			}
+			for i, j := range jobs {
+				res, err := j.Wait(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := json.Marshal(res)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(got, want[i]) {
+					b.Fatalf("job %d result drifted under the pool:\ngot:  %s\nwant: %s", i, got, want[i])
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(serviceJobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
 	}
 }
